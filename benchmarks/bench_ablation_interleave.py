@@ -1,0 +1,25 @@
+"""Ablation: DIMM-interleaving granularity sweep.
+
+The platform fixes 4 KB striping; the model lets us ask what a different
+granularity would do to the thread-to-DIMM distribution of grouped reads
+(the Fig. 3a window-parallelism mechanism).
+"""
+
+from repro.memsim.address import InterleaveMap
+
+
+def _study():
+    window = 36 * 256  # 36 threads of 256 B grouped reads
+    return {
+        f"{granularity // 1024}KiB": InterleaveMap(
+            ways=6, granularity=granularity
+        ).window_parallelism(window)
+        for granularity in (1024, 2048, 4096, 8192, 16384)
+    }
+
+
+def test_interleave_granularity_ablation(benchmark):
+    values = benchmark(_study)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in values.items()})
+    # Finer striping spreads a small grouped window across more DIMMs.
+    assert values["1KiB"] > values["4KiB"] > values["16KiB"]

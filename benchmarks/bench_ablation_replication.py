@@ -1,0 +1,40 @@
+"""Ablation: dimension-table replication across sockets on vs. off.
+
+The handcrafted SSB replicates the small dimension tables per socket "to
+avoid far random access, which would drastically decrease the bandwidth
+utilization" (§6.2). Turning replication off sends half the probes over
+the UPI.
+"""
+
+import pytest
+
+from repro.ssb.queries import get_query
+from repro.ssb.runner import SsbRunner
+from repro.ssb.storage import HANDCRAFTED_PMEM
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SsbRunner(measured_sf=0.05)
+
+
+def _study(runner):
+    query = (get_query("Q3.1"),)
+    replicated = runner.run(HANDCRAFTED_PMEM, target_sf=100, queries=query)
+    remote = runner.run(
+        HANDCRAFTED_PMEM.with_(
+            name="handcrafted-noreplication", replicate_dimensions=False
+        ),
+        target_sf=100,
+        queries=query,
+    )
+    return {
+        "replicated_seconds": replicated.breakdowns["Q3.1"].seconds,
+        "remote_seconds": remote.breakdowns["Q3.1"].seconds,
+    }
+
+
+def test_replication_ablation(benchmark, runner):
+    values = benchmark.pedantic(_study, args=(runner,), rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in values.items()})
+    assert values["replicated_seconds"] < values["remote_seconds"]

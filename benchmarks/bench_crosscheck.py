@@ -1,0 +1,15 @@
+"""Bench: the analytic-vs-DES cross-validation sweep."""
+
+from repro.memsim.crosscheck import cross_check
+
+
+def test_cross_check(benchmark):
+    report = benchmark.pedantic(cross_check, rounds=1, iterations=1)
+    for outcome in report.outcomes:
+        benchmark.extra_info[outcome.anchor.label] = {
+            "analytic_gbps": round(outcome.analytic_gbps, 2),
+            "engine_gbps": round(outcome.engine_gbps, 2),
+            "agrees": outcome.agrees,
+        }
+    divergent = [o.anchor.label for o in report.outcomes if not o.agrees]
+    assert divergent == ["write 36T 64B grouped"]  # the documented one

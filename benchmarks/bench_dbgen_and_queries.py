@@ -1,0 +1,48 @@
+"""Wall-time benchmarks of the SSB generator and query engine."""
+
+import pytest
+
+from repro.ssb.dbgen import generate
+from repro.ssb.engine import SsbExecutor
+from repro.ssb.queries import get_query
+from repro.ssb.storage import HANDCRAFTED_PMEM, HYRISE_PMEM
+
+
+def test_dbgen_sf01(benchmark):
+    db = benchmark.pedantic(
+        generate, kwargs={"scale_factor": 0.1}, rounds=2, iterations=1
+    )
+    assert db.lineorder.n_rows == 600_000
+    benchmark.extra_info["rows_per_table"] = {
+        "lineorder": db.lineorder.n_rows,
+        "customer": db.customer.n_rows,
+        "part": db.part.n_rows,
+    }
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(scale_factor=0.05)
+
+
+def test_execute_q21_aware(benchmark, db):
+    executor = SsbExecutor(db, HANDCRAFTED_PMEM)
+    query = get_query("Q2.1")
+    executor.execute(query)  # pre-build the persistent indexes
+    result = benchmark.pedantic(executor.execute, args=(query,), rounds=2, iterations=1)
+    assert result.n_groups > 0
+
+
+def test_execute_q21_unaware(benchmark, db):
+    executor = SsbExecutor(db, HYRISE_PMEM)
+    query = get_query("Q2.1")
+    result = benchmark.pedantic(executor.execute, args=(query,), rounds=2, iterations=1)
+    assert result.n_groups > 0
+
+
+def test_execute_qf1(benchmark, db):
+    executor = SsbExecutor(db, HANDCRAFTED_PMEM)
+    query = get_query("Q1.1")
+    executor.execute(query)
+    result = benchmark.pedantic(executor.execute, args=(query,), rounds=2, iterations=1)
+    assert result.scalar > 0

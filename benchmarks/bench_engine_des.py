@@ -1,0 +1,31 @@
+"""Wall-time benchmark of the discrete-event engine, plus its agreement
+with the analytic model on a calibrated anchor."""
+
+import pytest
+
+from repro.memsim import BandwidthModel
+from repro.memsim.engine import EngineConfig, simulate
+from repro.memsim.spec import Layout, Op
+from repro.units import MIB
+
+
+def test_des_write_boomerang(benchmark):
+    config = EngineConfig(
+        op=Op.WRITE, threads=18, access_size=4096, total_bytes=8 * MIB
+    )
+    result = benchmark.pedantic(simulate, args=(config,), rounds=2, iterations=1)
+    benchmark.extra_info["gbps"] = round(result.gbps, 2)
+    benchmark.extra_info["amplification"] = round(result.amplification, 2)
+    analytic = BandwidthModel().sequential_write(18, 4096)
+    assert result.gbps == pytest.approx(analytic, rel=0.45)
+
+
+def test_des_grouped_small_reads(benchmark):
+    config = EngineConfig(
+        op=Op.READ, threads=36, access_size=64, layout=Layout.GROUPED,
+        total_bytes=2 * MIB,
+    )
+    result = benchmark.pedantic(simulate, args=(config,), rounds=2, iterations=1)
+    benchmark.extra_info["gbps"] = round(result.gbps, 2)
+    benchmark.extra_info["amplification"] = round(result.amplification, 2)
+    assert result.amplification > 1.5  # shared-line refetches emerge

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 14 (SSB on PMEM vs DRAM, both engines)."""
+
+from benchmarks.conftest import attach
+from repro.experiments.fig14 import run
+from repro.ssb.runner import average_slowdown
+
+
+def test_fig14_ssb(benchmark, ssb_runner):
+    result = benchmark.pedantic(
+        run, kwargs={"runner": ssb_runner}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    hyrise = result.series_values("a-hyrise/pmem")
+    handcrafted = result.series_values("b-handcrafted/pmem")
+    benchmark.extra_info["hyrise_pmem_seconds"] = hyrise
+    benchmark.extra_info["handcrafted_pmem_seconds"] = handcrafted
+    # The aware implementation must beat the unaware one on PMEM.
+    fb = ssb_runner.figure14b()
+    fa = ssb_runner.figure14a()
+    assert average_slowdown(fa["pmem"], fa["dram"]) > 1.7 * average_slowdown(
+        fb["pmem"], fb["dram"]
+    )

@@ -1,0 +1,81 @@
+"""Wall-time benchmarks of the hash-index implementations themselves.
+
+These measure the *Python* implementations (not the modeled PMEM), which
+matters for users of the library: bulk probes are the hot path of every
+SSB execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ssb.hashindex import ChainedIndex, DashIndex
+
+N_KEYS = 20_000
+N_PROBES = 200_000
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    keys = rng.choice(10 * N_KEYS, size=N_KEYS, replace=False).astype(np.int64)
+    probes = rng.choice(keys, size=N_PROBES).astype(np.int64)
+    return keys, probes
+
+
+@pytest.fixture(scope="module")
+def dash(data):
+    keys, _ = data
+    index = DashIndex()
+    index.bulk_insert(keys, keys * 2)
+    return index
+
+
+@pytest.fixture(scope="module")
+def chained(data):
+    keys, _ = data
+    index = ChainedIndex(expected_size=N_KEYS)
+    index.bulk_insert(keys, keys * 2)
+    return index
+
+
+def test_dash_bulk_probe(benchmark, dash, data):
+    _, probes = data
+    out = benchmark(dash.bulk_probe, probes)
+    assert (out == probes * 2).all()
+    benchmark.extra_info["probes"] = N_PROBES
+    benchmark.extra_info["reads_per_probe"] = round(dash.stats.reads_per_probe, 2)
+
+
+def test_chained_bulk_probe(benchmark, chained, data):
+    _, probes = data
+    out = benchmark(chained.bulk_probe, probes)
+    assert (out == probes * 2).all()
+    benchmark.extra_info["probes"] = N_PROBES
+    benchmark.extra_info["reads_per_probe"] = round(
+        chained.stats.reads_per_probe, 2
+    )
+
+
+def test_dash_bulk_build(benchmark, data):
+    keys, _ = data
+    small = keys[:2000]
+
+    def build():
+        index = DashIndex()
+        index.bulk_insert(small, small)
+        return index
+
+    index = benchmark(build)
+    assert len(index) == len(small)
+
+
+def test_chained_bulk_build(benchmark, data):
+    keys, _ = data
+
+    def build():
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys)
+        return index
+
+    index = benchmark(build)
+    assert len(index) == len(keys)

@@ -1,0 +1,51 @@
+"""Extension bench: hybrid PMEM-DRAM deployment (the paper's future work).
+
+Compares three placements of the same SSB workload — PMEM-only (the
+paper's design space), DRAM-only (the expensive baseline), and the
+hybrid the paper motivates in §5.2/§9 (base tables on PMEM, hash indexes
+and intermediates in DRAM) — and prices each per §7.
+"""
+
+import pytest
+
+from repro.core import economics
+from repro.ssb.runner import SsbRunner, average_slowdown
+from repro.ssb.storage import HANDCRAFTED_DRAM, HANDCRAFTED_PMEM, HYBRID_PMEM_DRAM
+from repro.units import GIB
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SsbRunner(measured_sf=0.05)
+
+
+def _study(runner):
+    pmem = runner.run(HANDCRAFTED_PMEM, target_sf=100)
+    hybrid = runner.run(HYBRID_PMEM_DRAM, target_sf=100)
+    dram = runner.run(HANDCRAFTED_DRAM, target_sf=100)
+    return {
+        "pmem_avg_seconds": pmem.average_seconds,
+        "hybrid_avg_seconds": hybrid.average_seconds,
+        "dram_avg_seconds": dram.average_seconds,
+    }
+
+
+def test_hybrid_design(benchmark, runner):
+    values = benchmark.pedantic(_study, args=(runner,), rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in values.items()})
+
+    # The hybrid sits between PMEM-only and DRAM-only, close to DRAM.
+    assert values["dram_avg_seconds"] < values["hybrid_avg_seconds"]
+    assert values["hybrid_avg_seconds"] < values["pmem_avg_seconds"]
+    hybrid_slowdown = values["hybrid_avg_seconds"] / values["dram_avg_seconds"]
+    pmem_slowdown = values["pmem_avg_seconds"] / values["dram_avg_seconds"]
+    assert hybrid_slowdown < 0.75 * pmem_slowdown
+
+    # Price/performance: the hybrid needs DRAM only for the indexes, so
+    # it inherits most of PMEM's §7 cost advantage at near-DRAM speed.
+    comparison = economics.compare(
+        capacity=12 * 128 * GIB, slowdown=hybrid_slowdown
+    )
+    benchmark.extra_info["hybrid_slowdown"] = round(hybrid_slowdown, 2)
+    benchmark.extra_info["price_ratio"] = round(comparison.price_ratio, 2)
+    assert comparison.pmem_wins

@@ -1,0 +1,18 @@
+"""Bench: calibration-sensitivity sweep of the 12 insights.
+
+Quantifies how robust the reproduction's conclusions are to the fitted
+constants: every insight must survive a ±10% recalibration.
+"""
+
+from repro.core.sensitivity import analyze
+
+
+def test_sensitivity_sweep(benchmark):
+    report = benchmark.pedantic(analyze, args=(0.10,), rounds=1, iterations=1)
+    benchmark.extra_info["admissible_perturbations"] = len(report.outcomes)
+    benchmark.extra_info["robust_insights"] = sorted(report.robust_insights)
+    benchmark.extra_info["fragile_insights"] = {
+        str(k): [f"{n} x{f:.2f}" for n, f in v]
+        for k, v in report.fragile_insights.items()
+    }
+    assert report.robust_insights == set(range(1, 13))

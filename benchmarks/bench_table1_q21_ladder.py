@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table 1 (Q2.1 optimization ladder + SSD)."""
+
+from benchmarks.conftest import attach
+from repro.experiments.table1 import run
+
+
+def test_table1_q21_ladder(benchmark, ssb_runner):
+    result = benchmark.pedantic(
+        run, kwargs={"runner": ssb_runner}, rounds=1, iterations=1
+    )
+    attach(benchmark, result)
+    pmem = list(result.series_values("pmem").values())
+    dram = list(result.series_values("dram").values())
+    benchmark.extra_info["pmem_ladder_seconds"] = pmem
+    benchmark.extra_info["dram_ladder_seconds"] = dram
+    assert all(a >= b * 0.999 for a, b in zip(pmem, pmem[1:]))
+    assert all(a >= b * 0.999 for a, b in zip(dram, dram[1:]))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper; the
+wall time pytest-benchmark reports is the cost of regenerating it, and
+the reproduced values are attached as ``extra_info`` so
+``pytest benchmarks/ --benchmark-only`` doubles as the results run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim import BandwidthModel
+from repro.ssb.runner import SsbRunner
+
+
+@pytest.fixture(scope="session")
+def model() -> BandwidthModel:
+    return BandwidthModel()
+
+
+@pytest.fixture(scope="session")
+def ssb_runner() -> SsbRunner:
+    # One generated database and one traffic recording serve every SSB
+    # bench; sf 0.05 keeps the execution under a few seconds.
+    return SsbRunner(measured_sf=0.05)
+
+
+def attach(benchmark, result) -> None:
+    """Record an experiment's paper-vs-measured checks on the benchmark."""
+    for comparison in result.comparisons:
+        benchmark.extra_info[comparison.metric] = {
+            "paper": round(comparison.paper, 3),
+            "reproduction": round(comparison.measured, 3),
+            "ratio": round(comparison.ratio, 3),
+        }

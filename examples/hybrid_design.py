@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Design a hybrid PMEM-DRAM deployment (the paper's future work, §9).
+
+Derives the SSB workload's placeable structures from real executed
+traffic, plans which belong in scarce DRAM (the §5.2 principle: DRAM for
+random access, PMEM for scans), and compares the resulting deployment
+against PMEM-only and DRAM-only — in runtime *and* in dollars.
+
+Run:  python examples/hybrid_design.py
+"""
+
+from repro.core import economics
+from repro.core.hybrid import HybridPlanner, ssb_structures
+from repro.ssb.runner import SsbRunner
+from repro.ssb.storage import HANDCRAFTED_DRAM, HANDCRAFTED_PMEM, HYBRID_PMEM_DRAM
+from repro.units import GIB
+
+
+def main() -> None:
+    runner = SsbRunner(measured_sf=0.05)
+
+    print("deriving placeable structures from executed SSB traffic ...")
+    structures = ssb_structures(runner, target_sf=100.0)
+    planner = HybridPlanner()
+    # The paper's server has 93 GiB of DRAM per socket; leave half for
+    # the OS and execution state.
+    plan = planner.plan(structures, dram_budget=48 * GIB)
+    print(plan.describe())
+    print()
+
+    print("pricing the three deployments at sf 100:")
+    runs = {
+        "PMEM-only": runner.run(HANDCRAFTED_PMEM, target_sf=100),
+        "hybrid   ": runner.run(HYBRID_PMEM_DRAM, target_sf=100),
+        "DRAM-only": runner.run(HANDCRAFTED_DRAM, target_sf=100),
+    }
+    dram_avg = runs["DRAM-only"].average_seconds
+    for name, run in runs.items():
+        print(
+            f"  {name}: avg query {run.average_seconds:6.2f}s "
+            f"({run.average_seconds / dram_avg:.2f}x of DRAM-only)"
+        )
+    print()
+
+    hybrid_slowdown = runs["hybrid   "].average_seconds / dram_avg
+    verdict = economics.compare(capacity=12 * 128 * GIB, slowdown=hybrid_slowdown)
+    print("price/performance of the hybrid against an all-DRAM node:")
+    print("  " + verdict.describe())
+    print(
+        "\nthe hybrid keeps PMEM's capacity and ~cost while closing most "
+        "of the performance gap — the design §9 names as future work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Run the Star Schema Benchmark reproduction end to end.
+
+Generates SSB data, executes all 13 queries for real (results are
+checked against each other across engine profiles), and prices the
+recorded traffic for the paper's four deployments — reproducing
+Figure 14, Table 1, and the SSD contrast.
+
+Run:  python examples/ssb_analysis.py  [scale-factor]
+"""
+
+import sys
+
+from repro.ssb.queries import ALL_QUERIES
+from repro.ssb.runner import SsbRunner, average_slowdown, slowdown
+
+
+def main() -> None:
+    measured_sf = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    print(f"executing SSB at sf {measured_sf} (traffic scaled to sf 50/100) ...")
+    runner = SsbRunner(measured_sf=measured_sf)
+
+    print("\n== Figure 14b: handcrafted PMEM-aware implementation, sf 100 ==")
+    handcrafted = runner.figure14b()
+    ratios = slowdown(handcrafted["pmem"], handcrafted["dram"])
+    print(f"{'query':<6} {'PMEM':>8} {'DRAM':>8} {'ratio':>6}")
+    for query in ALL_QUERIES:
+        pmem = handcrafted["pmem"].breakdowns[query.name].seconds
+        dram = handcrafted["dram"].breakdowns[query.name].seconds
+        print(f"{query.name:<6} {pmem:7.2f}s {dram:7.2f}s {ratios[query.name]:5.2f}x")
+    print(
+        f"average slowdown: "
+        f"{average_slowdown(handcrafted['pmem'], handcrafted['dram']):.2f}x "
+        "(paper: 1.66x)"
+    )
+
+    print("\n== Figure 14a: Hyrise (PMEM-unaware), sf 50 ==")
+    hyrise = runner.figure14a()
+    print(
+        f"average slowdown: "
+        f"{average_slowdown(hyrise['pmem'], hyrise['dram']):.2f}x (paper: 5.3x)"
+    )
+
+    print("\n== Table 1: optimizing Q2.1 step by step, sf 100 ==")
+    ladder = runner.table1()
+    steps = list(ladder["pmem"])
+    print(f"{'':<6} " + " ".join(f"{step:>10}" for step in steps))
+    for media in ("pmem", "dram"):
+        cells = " ".join(f"{ladder[media][step]:9.1f}s" for step in steps)
+        print(f"{media:<6} {cells}")
+    print("(paper PMEM: 306.7 / 25.1 / 12.3 / 9.4 / 8.6;"
+          " DRAM: 221.2 / 15.2 / 9.2 / 5.2 / 5.2)")
+
+    ssd = runner.q21_on_ssd()
+    pmem_final = ladder["pmem"]["Pinning"]
+    print(
+        f"\ntraditional NVMe-SSD deployment runs Q2.1 in {ssd:.1f}s — "
+        f"PMEM is {ssd / pmem_final:.1f}x faster (paper: 2.6x)"
+    )
+
+    q21 = handcrafted["pmem"].breakdowns["Q2.1"]
+    print(f"\nQ2.1 cost breakdown on PMEM:\n{q21.describe()}")
+
+
+if __name__ == "__main__":
+    main()

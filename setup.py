@@ -1,0 +1,8 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Allows ``pip install -e . --no-use-pep517`` (legacy editable install);
+all project metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — reproduction of "Maximizing Persistent Memory Bandwidth
+Utilization for OLAP Workloads" (Daase et al., SIGMOD 2021).
+
+The package provides five layers:
+
+* :mod:`repro.memsim` — a mechanistic simulator of the paper's dual-
+  socket Optane/DRAM memory subsystem (the hardware substrate the paper
+  measured);
+* :mod:`repro.workloads` — the paper's microbenchmark workloads as data;
+* :mod:`repro.core` — the paper's contribution: 12 insights, 7 best
+  practices, a configuration tuner, and a placement advisor, all checked
+  against the simulator rather than hard-coded;
+* :mod:`repro.ssb` — a real, executing Star Schema Benchmark (generator,
+  columnar engine, Dash-like and chained hash indexes) whose measured
+  traffic the simulator prices for PMEM/DRAM/SSD deployments;
+* :mod:`repro.experiments` — every figure and table of the paper's
+  evaluation, regenerated from the layers above.
+
+Quickstart::
+
+    from repro import BandwidthModel, PlacementAdvisor, WorkloadIntent
+    from repro.core import AccessProfile
+
+    model = BandwidthModel()
+    print(model.sequential_read(threads=18, access_size=4096))   # ~40 GB/s
+    print(model.sequential_write(threads=36, access_size=65536)) # the collapse
+
+    advisor = PlacementAdvisor(model)
+    intent = WorkloadIntent(profile=AccessProfile.JOIN_HEAVY)
+    print(advisor.recommend(intent).describe())
+"""
+
+from repro.core import (
+    AccessProfile,
+    PlacementAdvisor,
+    Recommendation,
+    WorkloadIntent,
+    verify_all,
+    verify_practices,
+)
+from repro.memsim import (
+    BandwidthModel,
+    DaxMode,
+    DeviceCalibration,
+    Layout,
+    MediaKind,
+    Op,
+    Pattern,
+    PinningPolicy,
+    StreamSpec,
+    build_topology,
+    paper_calibration,
+    paper_server,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessProfile",
+    "BandwidthModel",
+    "DaxMode",
+    "DeviceCalibration",
+    "Layout",
+    "MediaKind",
+    "Op",
+    "Pattern",
+    "PinningPolicy",
+    "PlacementAdvisor",
+    "Recommendation",
+    "StreamSpec",
+    "WorkloadIntent",
+    "__version__",
+    "build_topology",
+    "paper_calibration",
+    "paper_server",
+    "verify_all",
+    "verify_practices",
+]

@@ -1,0 +1,250 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    List the reproducible experiments (figures/tables).
+``run <exp-id> [...]``
+    Run one or more experiments and print their rendered results.
+``report``
+    Print the full paper-vs-measured markdown report (EXPERIMENTS.md body).
+``bandwidth``
+    Query the bandwidth model for one configuration.
+``ssb``
+    Execute the Star Schema Benchmark reproduction (Fig. 14 + Table 1).
+``verify``
+    Check the 12 insights and 7 best practices against the model.
+``advise``
+    Run the placement advisor for a workload profile.
+``hybrid``
+    Plan a hybrid PMEM-DRAM placement (the paper's future work, §9).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.memsim import BandwidthModel, Layout, MediaKind, PinningPolicy
+from repro.memsim.spec import Pattern
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Maximizing Persistent Memory Bandwidth "
+        "Utilization for OLAP Workloads' (SIGMOD 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    run = sub.add_parser("run", help="run experiments by id")
+    run.add_argument("experiments", nargs="+", metavar="EXP",
+                     help="experiment ids, e.g. fig7 table1")
+
+    sub.add_parser("report", help="print the paper-vs-measured report")
+
+    bandwidth = sub.add_parser("bandwidth", help="query the bandwidth model")
+    bandwidth.add_argument("--op", choices=("read", "write"), default="read")
+    bandwidth.add_argument("--threads", type=int, default=18)
+    bandwidth.add_argument("--size", type=int, default=4096,
+                           help="access size in bytes")
+    bandwidth.add_argument("--media", choices=("pmem", "dram"), default="pmem")
+    bandwidth.add_argument("--layout", choices=("grouped", "individual"),
+                           default="individual")
+    bandwidth.add_argument("--pattern", choices=("sequential", "random"),
+                           default="sequential")
+    bandwidth.add_argument("--pinning", choices=("none", "numa_region", "cores"),
+                           default="cores")
+    bandwidth.add_argument("--far", action="store_true",
+                           help="access the other socket's memory")
+    bandwidth.add_argument("--cold", action="store_true",
+                           help="far access with a cold coherence directory")
+
+    ssb = sub.add_parser("ssb", help="run the SSB reproduction")
+    ssb.add_argument("--sf", type=float, default=0.05,
+                     help="measured scale factor for the real execution")
+
+    sub.add_parser("verify", help="verify the 12 insights and 7 practices")
+
+    advise = sub.add_parser("advise", help="run the placement advisor")
+    advise.add_argument("--profile",
+                        choices=("scan_heavy", "join_heavy", "ingest", "mixed"),
+                        default="scan_heavy")
+    advise.add_argument("--threads", type=int, default=36,
+                        help="threads available per socket")
+    advise.add_argument("--sockets", type=int, default=2)
+    advise.add_argument("--no-system-control", action="store_true")
+    advise.add_argument("--needs-filesystem", action="store_true")
+
+    hybrid = sub.add_parser(
+        "hybrid", help="plan a hybrid PMEM-DRAM placement (future work, §9)"
+    )
+    hybrid.add_argument("--dram-budget-gib", type=float, default=48.0)
+    hybrid.add_argument("--sf", type=float, default=0.02,
+                        help="measured scale factor for the traffic run")
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import REGISTRY
+
+    for experiment in REGISTRY.values():
+        print(f"{experiment.exp_id:<14} §{experiment.paper_section:<8} {experiment.title}")
+    return 0
+
+
+def _cmd_run(experiment_ids: Sequence[str]) -> int:
+    from repro.experiments.registry import run_experiment
+
+    for exp_id in experiment_ids:
+        print(run_experiment(exp_id).render())
+        print()
+    return 0
+
+
+def _cmd_report() -> int:
+    from repro.experiments.report import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> int:
+    model = BandwidthModel()
+    media = MediaKind.PMEM if args.media == "pmem" else MediaKind.DRAM
+    layout = Layout.GROUPED if args.layout == "grouped" else Layout.INDIVIDUAL
+    pinning = PinningPolicy(args.pinning)
+    if args.pattern == "random":
+        if args.op == "read":
+            gbps = model.random_read(args.threads, args.size, media=media)
+        else:
+            gbps = model.random_write(args.threads, args.size, media=media)
+    elif args.op == "read":
+        if args.far and not args.cold:
+            model.warm_directory()
+        gbps = model.sequential_read(
+            args.threads, args.size, layout=layout, media=media,
+            pinning=pinning, far=args.far, warm=args.far and not args.cold,
+        )
+    else:
+        gbps = model.sequential_write(
+            args.threads, args.size, layout=layout, media=media,
+            pinning=pinning, far=args.far,
+        )
+    locality = "far" if args.far else "near"
+    print(
+        f"{args.op} {args.pattern} {args.size}B x {args.threads} threads "
+        f"({args.layout}, {args.pinning}, {locality} {args.media}): "
+        f"{gbps:.2f} GB/s"
+    )
+    return 0
+
+
+def _cmd_ssb(args: argparse.Namespace) -> int:
+    from repro.ssb.runner import SsbRunner, average_slowdown
+
+    runner = SsbRunner(measured_sf=args.sf)
+    handcrafted = runner.figure14b()
+    hyrise = runner.figure14a()
+    print("Figure 14b (handcrafted, sf 100):")
+    for name, seconds in handcrafted["pmem"].seconds.items():
+        dram = handcrafted["dram"].breakdowns[name].seconds
+        print(f"  {name:<6} pmem={seconds:7.2f}s dram={dram:7.2f}s")
+    print(
+        f"average slowdown: "
+        f"{average_slowdown(handcrafted['pmem'], handcrafted['dram']):.2f}x "
+        "(paper 1.66x)"
+    )
+    print(
+        f"Hyrise average slowdown: "
+        f"{average_slowdown(hyrise['pmem'], hyrise['dram']):.2f}x (paper 5.3x)"
+    )
+    print("Table 1 (Q2.1):")
+    for media, ladder in runner.table1().items():
+        cells = "  ".join(f"{step}={seconds:.1f}s" for step, seconds in ladder.items())
+        print(f"  {media}: {cells}")
+    print(f"Q2.1 on SSD: {runner.q21_on_ssd():.1f}s (paper 22.8s)")
+    return 0
+
+
+def _cmd_verify() -> int:
+    from repro.core import practices_report, verify_all
+
+    model = BandwidthModel()
+    insights = verify_all(model)
+    failed = [number for number, ok in insights.items() if not ok]
+    print(practices_report(model))
+    print()
+    if failed:
+        print(f"FAILED insights: {failed}")
+        return 1
+    print("all 12 insights and 7 best practices hold")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core import AccessProfile, PlacementAdvisor, WorkloadIntent
+
+    intent = WorkloadIntent(
+        profile=AccessProfile(args.profile),
+        threads_per_socket=args.threads,
+        sockets=args.sockets,
+        full_system_control=not args.no_system_control,
+        needs_filesystem=args.needs_filesystem,
+    )
+    print(PlacementAdvisor().recommend(intent).describe())
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    from repro.core.hybrid import HybridPlanner, ssb_structures
+    from repro.ssb.runner import SsbRunner
+    from repro.ssb.storage import (
+        HANDCRAFTED_DRAM,
+        HANDCRAFTED_PMEM,
+        HYBRID_PMEM_DRAM,
+    )
+    from repro.units import GIB
+
+    runner = SsbRunner(measured_sf=args.sf)
+    structures = ssb_structures(runner, target_sf=100.0)
+    plan = HybridPlanner().plan(structures, dram_budget=int(args.dram_budget_gib * GIB))
+    print(plan.describe())
+    print()
+    for label, profile in (
+        ("PMEM-only", HANDCRAFTED_PMEM),
+        ("hybrid", HYBRID_PMEM_DRAM),
+        ("DRAM-only", HANDCRAFTED_DRAM),
+    ):
+        run = runner.run(profile, target_sf=100)
+        print(f"  {label:<10} avg query {run.average_seconds:6.2f}s")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiments)
+    if args.command == "report":
+        return _cmd_report()
+    if args.command == "bandwidth":
+        return _cmd_bandwidth(args)
+    if args.command == "ssb":
+        return _cmd_ssb(args)
+    if args.command == "verify":
+        return _cmd_verify()
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "hybrid":
+        return _cmd_hybrid(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

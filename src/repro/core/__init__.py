@@ -1,0 +1,68 @@
+"""The paper's primary contribution: insights, best practices, advisor.
+
+* :mod:`repro.core.insights` — the 12 numbered insights as falsifiable
+  claims checked against the bandwidth model;
+* :mod:`repro.core.best_practices` — the 7 best practices of §7;
+* :mod:`repro.core.optimizer` — exhaustive configuration tuner;
+* :mod:`repro.core.advisor` — workload-intent to configuration mapping.
+"""
+
+from repro.core.advisor import (
+    AccessProfile,
+    PlacementAdvisor,
+    Recommendation,
+    WorkloadIntent,
+)
+from repro.core.hybrid import (
+    HybridPlan,
+    HybridPlanner,
+    Placement,
+    Structure,
+    StructureKind,
+    ssb_structures,
+)
+from repro.core.best_practices import (
+    BEST_PRACTICES,
+    BestPractice,
+    get_practice,
+    practices_report,
+    verify_practices,
+)
+from repro.core.insights import ALL_INSIGHTS, Insight, get_insight, verify_all
+from repro.core.sensitivity import SensitivityReport, analyze as sensitivity_analysis
+from repro.core.optimizer import (
+    TuningCandidate,
+    TuningResult,
+    TuningSpace,
+    tune,
+    tuned_matches_best_practices,
+)
+
+__all__ = [
+    "ALL_INSIGHTS",
+    "AccessProfile",
+    "BEST_PRACTICES",
+    "BestPractice",
+    "HybridPlan",
+    "HybridPlanner",
+    "Insight",
+    "Placement",
+    "Structure",
+    "StructureKind",
+    "PlacementAdvisor",
+    "Recommendation",
+    "SensitivityReport",
+    "TuningCandidate",
+    "TuningResult",
+    "TuningSpace",
+    "WorkloadIntent",
+    "get_insight",
+    "get_practice",
+    "practices_report",
+    "sensitivity_analysis",
+    "tune",
+    "ssb_structures",
+    "tuned_matches_best_practices",
+    "verify_all",
+    "verify_practices",
+]

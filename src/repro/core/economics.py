@@ -1,0 +1,141 @@
+"""Price/performance analysis of PMEM vs. DRAM deployments (paper §7).
+
+The paper closes with an illustrative cost argument: 1.5 TB of PMEM
+(12 x 128 GB DIMMs at ~$575) costs ~$6,900, while 1.5 TB of DRAM (at
+~$700 per 64 GB module) would cost ~$16,800 — 2.4x more — whereas the
+average SSB query is only 1.6x faster on DRAM. This module makes that
+trade-off a first-class computation over arbitrary capacities and
+measured slowdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+@dataclass(frozen=True)
+class MemoryPrice:
+    """Street price of one memory module."""
+
+    capacity: int
+    usd: float
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigurationError("module capacity must be positive")
+        if self.usd <= 0:
+            raise ConfigurationError("module price must be positive")
+
+    @property
+    def usd_per_gib(self) -> float:
+        return self.usd / (self.capacity / GIB)
+
+
+#: Prices quoted in the paper (§7; PMEM from Handy 2020).
+PAPER_PMEM_PRICE = MemoryPrice(capacity=128 * GIB, usd=575.0)
+PAPER_DRAM_PRICE = MemoryPrice(capacity=64 * GIB, usd=700.0)
+
+
+@dataclass(frozen=True)
+class DeploymentCost:
+    """Cost of provisioning a capacity with one memory technology."""
+
+    capacity: int
+    modules: int
+    usd: float
+
+    @property
+    def usd_per_gib(self) -> float:
+        return self.usd / (self.capacity / GIB)
+
+
+def provision(capacity: int, price: MemoryPrice) -> DeploymentCost:
+    """Modules and dollars needed to provision ``capacity`` bytes."""
+    if capacity <= 0:
+        raise ConfigurationError("capacity must be positive")
+    modules = -(-capacity // price.capacity)  # ceil division
+    return DeploymentCost(
+        capacity=capacity, modules=int(modules), usd=modules * price.usd
+    )
+
+
+@dataclass(frozen=True)
+class PricePerformance:
+    """The §7 comparison for a given capacity and measured slowdown."""
+
+    capacity: int
+    pmem: DeploymentCost
+    dram: DeploymentCost
+    #: PMEM/DRAM average query-runtime ratio (the paper measures 1.66x).
+    slowdown: float
+
+    @property
+    def price_ratio(self) -> float:
+        """DRAM cost over PMEM cost (the paper computes 2.4x)."""
+        return self.dram.usd / self.pmem.usd
+
+    @property
+    def pmem_wins(self) -> bool:
+        """PMEM offers better price/performance when its cost advantage
+        exceeds its performance disadvantage."""
+        return self.price_ratio > self.slowdown
+
+    @property
+    def performance_per_dollar_advantage(self) -> float:
+        """How much more work-per-dollar PMEM delivers (>1 = PMEM wins)."""
+        return self.price_ratio / self.slowdown
+
+    def describe(self) -> str:
+        winner = "PMEM" if self.pmem_wins else "DRAM"
+        return (
+            f"{self.capacity / GIB:.0f} GiB: "
+            f"PMEM ${self.pmem.usd:,.0f} ({self.pmem.modules} DIMMs) vs "
+            f"DRAM ${self.dram.usd:,.0f} ({self.dram.modules} DIMMs); "
+            f"price ratio {self.price_ratio:.2f}x, slowdown {self.slowdown:.2f}x "
+            f"=> {winner} wins "
+            f"({self.performance_per_dollar_advantage:.2f}x work/$ for PMEM)"
+        )
+
+
+def compare(
+    capacity: int,
+    slowdown: float,
+    pmem_price: MemoryPrice = PAPER_PMEM_PRICE,
+    dram_price: MemoryPrice = PAPER_DRAM_PRICE,
+) -> PricePerformance:
+    """Price/performance comparison for a capacity and a slowdown factor.
+
+    ``slowdown`` should come from a measured SSB run
+    (:func:`repro.ssb.runner.average_slowdown`), not from assumptions.
+    """
+    if slowdown <= 0:
+        raise ConfigurationError("slowdown must be positive")
+    return PricePerformance(
+        capacity=capacity,
+        pmem=provision(capacity, pmem_price),
+        dram=provision(capacity, dram_price),
+        slowdown=slowdown,
+    )
+
+
+def paper_comparison() -> PricePerformance:
+    """The paper's own 1.5 TB / 1.66x data point."""
+    return compare(capacity=12 * 128 * GIB, slowdown=1.66)
+
+
+def breakeven_slowdown(
+    capacity: int,
+    pmem_price: MemoryPrice = PAPER_PMEM_PRICE,
+    dram_price: MemoryPrice = PAPER_DRAM_PRICE,
+) -> float:
+    """The slowdown at which PMEM stops winning for ``capacity``.
+
+    As long as the measured slowdown stays below this value, PMEM has
+    the better price/performance.
+    """
+    pmem = provision(capacity, pmem_price)
+    dram = provision(capacity, dram_price)
+    return dram.usd / pmem.usd

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch everything library-specific with a single handler
+while still being able to distinguish configuration problems from runtime
+simulation or query-processing failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """A hardware topology description is inconsistent.
+
+    Raised, for example, when a DIMM references a memory channel that does
+    not exist, or when a NUMA node is assigned to the wrong socket.
+    """
+
+
+class CalibrationError(ConfigurationError):
+    """A calibration profile contains physically impossible values."""
+
+
+class WorkloadError(ConfigurationError):
+    """A workload specification is invalid (e.g. zero threads)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class SchemaError(ReproError):
+    """A benchmark table schema was violated (bad column, wrong dtype)."""
+
+
+class QueryError(ReproError):
+    """A query plan could not be built or executed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition is missing or produced malformed output."""

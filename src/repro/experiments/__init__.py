@@ -1,0 +1,29 @@
+"""Reproductions of every figure and table in the paper's evaluation.
+
+``run_experiment("fig7")`` regenerates Figure 7 from the model;
+``run_all()`` regenerates everything. Each result carries the paper's
+numeric spot values next to the reproduction's (see
+:mod:`repro.experiments.paperdata` for provenance).
+"""
+
+from repro.experiments.result import ExperimentResult, MetricComparison
+
+__all__ = [
+    "ExperimentResult",
+    "MetricComparison",
+    "REGISTRY",
+    "all_experiment_ids",
+    "get_experiment",
+    "run_all",
+    "run_experiment",
+]
+
+
+def __getattr__(name: str):
+    # Deferred to avoid a circular import: figure modules import
+    # repro.experiments.paperdata at module load.
+    if name in {"REGISTRY", "all_experiment_ids", "get_experiment", "run_all", "run_experiment"}:
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,40 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from repro.memsim import BandwidthModel
+from repro.workloads.grids import SweepGrid
+
+
+def model_or_default(model: BandwidthModel | None) -> BandwidthModel:
+    return model if model is not None else BandwidthModel()
+
+
+def evaluate_grid(model: BandwidthModel, grid: SweepGrid) -> dict[str, float]:
+    """Evaluate every sweep point; returns {label: total GB/s}.
+
+    The coherence directory is pre-warmed so that far-access points
+    reflect steady-state behaviour; experiments that specifically study
+    the cold path (Fig. 5) manage the directory themselves.
+    """
+    model.warm_directory()
+    return {
+        point.label: model.evaluate(list(point.streams)).total_gbps
+        for point in grid
+    }
+
+
+def curves_by(
+    values: dict[str, float], grid: SweepGrid, outer: str, inner: str
+) -> dict[str, dict[str, float]]:
+    """Regroup flat sweep values into one series per ``outer`` parameter.
+
+    ``outer``/``inner`` name keys of each point's ``params``; the result
+    maps ``str(outer_value)`` to ``{str(inner_value): GB/s}``.
+    """
+    series: dict[str, dict[str, float]] = {}
+    for point in grid:
+        outer_value = str(point.params[outer])
+        inner_value = str(point.params[inner])
+        series.setdefault(outer_value, {})[inner_value] = values[point.label]
+    return series

@@ -1,0 +1,84 @@
+"""Export experiment results as JSON or CSV.
+
+The rendered text tables are for humans; downstream tooling (plotting
+notebooks, regression dashboards) consumes these machine-readable forms.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.experiments.result import ExperimentResult
+
+
+def to_dict(result: ExperimentResult) -> dict:
+    """Plain-data form of one experiment result."""
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "unit": result.unit,
+        "series": result.series,
+        "comparisons": [
+            {
+                "metric": c.metric,
+                "paper": c.paper,
+                "measured": c.measured,
+                "unit": c.unit,
+                "ratio": c.ratio,
+            }
+            for c in result.comparisons
+        ],
+        "notes": list(result.notes),
+    }
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """JSON form of one experiment result."""
+    return json.dumps(to_dict(result), indent=indent, sort_keys=True)
+
+
+def series_to_csv(result: ExperimentResult) -> str:
+    """All series as long-form CSV: ``series,x,value``."""
+    if not result.series:
+        raise ExperimentError(f"{result.exp_id} has no series to export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", "x", "value"])
+    for name, points in result.series.items():
+        for x, value in points.items():
+            writer.writerow([name, x, value])
+    return buffer.getvalue()
+
+
+def comparisons_to_csv(result: ExperimentResult) -> str:
+    """The paper-vs-measured checks as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["metric", "paper", "measured", "unit", "ratio"])
+    for c in result.comparisons:
+        writer.writerow([c.metric, c.paper, c.measured, c.unit, c.ratio])
+    return buffer.getvalue()
+
+
+def write_bundle(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """Write ``<exp_id>.json`` / ``<exp_id>_series.csv`` /
+    ``<exp_id>_comparisons.csv`` into ``directory``; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    json_path = directory / f"{result.exp_id}.json"
+    json_path.write_text(to_json(result))
+    paths.append(json_path)
+    if result.series:
+        series_path = directory / f"{result.exp_id}_series.csv"
+        series_path.write_text(series_to_csv(result))
+        paths.append(series_path)
+    if result.comparisons:
+        comparisons_path = directory / f"{result.exp_id}_comparisons.csv"
+        comparisons_path.write_text(comparisons_to_csv(result))
+        paths.append(comparisons_path)
+    return paths

@@ -1,0 +1,128 @@
+"""Reference values digitized from the paper's text and tables.
+
+Only values the paper states *numerically* (in prose, axis annotations,
+or Table 1) are recorded; curve shapes that the paper conveys only
+graphically are asserted as relations in the test suite instead of as
+fabricated numbers.
+"""
+
+from __future__ import annotations
+
+# ----- §3 sequential reads -------------------------------------------------
+
+#: Peak sequential read bandwidth, one socket (Fig. 3).
+READ_PEAK_GBPS: float = 40.0
+#: Grouped-read bandwidth range at 36 threads across access sizes (§3.1).
+READ_GROUPED_36T_MIN_GBPS: float = 12.0
+#: "8 threads achieves nearly as much ... (~15% difference)" (§3.2).
+READ_8T_OF_PEAK: float = 0.85
+#: Unpinned reads peak (Fig. 4).
+READ_UNPINNED_PEAK_GBPS: float = 9.0
+#: Pinned read peak with explicit core pinning (Fig. 4).
+READ_PINNED_PEAK_GBPS: float = 41.0
+#: Cold far read peak and its optimal thread count (Fig. 5).
+READ_COLD_FAR_PEAK_GBPS: float = 8.0
+READ_COLD_FAR_BEST_THREADS: int = 4
+#: Warm far read bandwidth (Fig. 5, "2nd Far").
+READ_WARM_FAR_GBPS: float = 33.0
+
+# ----- §3.5 multi-socket reads (Fig. 6) -------------------------------------
+
+READ_2NEAR_PMEM_GBPS: float = 80.0
+READ_2FAR_PMEM_GBPS: float = 50.0
+READ_1NEAR_DRAM_GBPS: float = 100.0
+READ_2NEAR_DRAM_GBPS: float = 185.0
+READ_1FAR_DRAM_GBPS: float = 33.0
+READ_2FAR_DRAM_GBPS: float = 60.0
+#: §3.5: VTune shows 90%+ average UPI utilization for "2 Far".
+UPI_UTILIZATION_2FAR: float = 0.90
+
+# ----- §4 sequential writes --------------------------------------------------
+
+#: Global write maximum: grouped 4 KB (§4.1).
+WRITE_PEAK_GBPS: float = 12.6
+#: 64 B at 36 threads: grouped vs individual (§4.1).
+WRITE_GROUPED_64B_36T_GBPS: float = 2.6
+WRITE_INDIVIDUAL_64B_36T_GBPS: float = 9.6
+#: The 256 B secondary peak for 18+ threads (§4.2).
+WRITE_256B_HIGH_THREADS_GBPS: float = 10.0
+#: Large accesses at high thread counts stabilize here (§4.2).
+WRITE_HIGH_THREADS_PLATEAU_GBPS: float = 5.5
+#: Unpinned writes peak (Fig. 9) and pinned peak.
+WRITE_UNPINNED_PEAK_GBPS: float = 7.0
+WRITE_PINNED_PEAK_GBPS: float = 13.0
+#: Far writes peak at ~7 GB/s with 8 threads (Fig. 10).
+WRITE_FAR_PEAK_GBPS: float = 7.0
+WRITE_FAR_BEST_THREADS: int = 8
+WRITE_2NEAR_GBPS: float = 25.0
+WRITE_2FAR_GBPS: float = 13.0
+WRITE_SHARED_TARGET_GBPS: float = 8.0
+#: §4.4: up to 10x internal write amplification for far writes.
+FAR_WRITE_AMPLIFICATION: float = 10.0
+
+# ----- §5.1 mixed workloads (Fig. 11) ----------------------------------------
+
+#: Uncontended read bandwidth with 30 threads in the mixed harness.
+MIXED_READ_BASELINE_30T_GBPS: float = 31.0
+#: Read bandwidth with 30 readers + 1 writer.
+MIXED_READ_30R_1W_GBPS: float = 26.0
+#: Write bandwidth with 4 writers + 1 reader (of a ~13 GB/s max).
+MIXED_WRITE_4W_1R_GBPS: float = 12.0
+#: Both sides drop to about a third at the recommended combination.
+MIXED_BALANCED_RETENTION: float = 1.0 / 3.0
+
+# ----- §5.2 random access (Figs. 12-13) --------------------------------------
+
+#: Random read/write peak as a fraction of sequential (PMEM).
+RANDOM_PEAK_FRACTION_PMEM: float = 2.0 / 3.0
+#: DRAM reaches ~50% of sequential on the 2 GB region.
+RANDOM_PEAK_FRACTION_DRAM_SMALL: float = 0.50
+#: Large-region DRAM random reads reach ~90% of sequential.
+RANDOM_LARGE_REGION_FRACTION_DRAM: float = 0.90
+#: Large-region DRAM shows ~4x over PMEM at 512 B.
+RANDOM_DRAM_OVER_PMEM_512B: float = 4.0
+
+# ----- §6 SSB -----------------------------------------------------------------
+
+#: Hyrise (sf 50): average slowdown and per-query extremes (§6.1).
+HYRISE_AVG_SLOWDOWN: float = 5.3
+HYRISE_MAX_SLOWDOWN: float = 7.7   # Q2.3
+HYRISE_MIN_SLOWDOWN: float = 2.5   # Q3.1
+#: Handcrafted (sf 100): average slowdown and extremes (§6.2).
+HANDCRAFTED_AVG_SLOWDOWN: float = 1.66
+HANDCRAFTED_MAX_SLOWDOWN: float = 3.0   # Q1.3
+HANDCRAFTED_MIN_SLOWDOWN: float = 1.4   # Q3.3
+#: QF1 per-query runtimes (§6.2).
+QF1_PMEM_SECONDS: float = 1.3
+QF1_DRAM_SECONDS: float = 0.5
+#: Average QF2-4 slowdown (§6.2).
+QF2_4_SLOWDOWN: float = 1.6
+
+#: Table 1: Q2.1 optimization ladder, seconds.
+TABLE1_PMEM: dict[str, float] = {
+    "1 Thr.": 306.7, "18 Thr.": 25.1, "2-Socket": 12.3, "NUMA": 9.4, "Pinning": 8.6,
+}
+TABLE1_DRAM: dict[str, float] = {
+    "1 Thr.": 221.2, "18 Thr.": 15.2, "2-Socket": 9.2, "NUMA": 5.2, "Pinning": 5.2,
+}
+#: Q2.1 on the NVMe SSD deployment (§6.2).
+Q21_SSD_SECONDS: float = 22.8
+#: "PMEM outperforms SSDs by over a factor of 2.6x".
+SSD_OVER_PMEM: float = 2.6
+#: §6.2: the benchmark is memory bound over 70% of the time.
+MEMORY_BOUND_FRACTION: float = 0.70
+
+# ----- §2.3 / §7 dax modes ----------------------------------------------------
+
+#: devdax is consistently 5-10% faster than fsdax.
+DEVDAX_ADVANTAGE_RANGE: tuple[float, float] = (0.05, 0.10)
+#: A 2 MB page fault costs ~0.5 ms; pre-faulting 1 GB >= 0.25 s.
+PAGE_FAULT_SECONDS_PER_GIB: float = 0.25
+
+# ----- §7 price/performance ----------------------------------------------------
+
+PMEM_DIMM_128GB_USD: float = 575.0
+DRAM_DIMM_64GB_USD: float = 700.0
+SYSTEM_PMEM_1_5TB_USD: float = 6900.0
+SYSTEM_DRAM_1_5TB_USD: float = 16800.0
+PRICE_RATIO_DRAM_OVER_PMEM: float = 2.4

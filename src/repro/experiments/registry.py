@@ -1,0 +1,80 @@
+"""Registry of all reproduced experiments, keyed by figure/table id."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    bestpractices,
+    daxmode,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    table1,
+)
+from repro.experiments.result import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduced figure/table of the paper."""
+
+    exp_id: str
+    title: str
+    paper_section: str
+    runner: Callable[..., ExperimentResult]
+
+
+_EXPERIMENTS: tuple[Experiment, ...] = (
+    Experiment("fig3", "Read bandwidth: access size x thread count", "3.1-3.2", fig03.run),
+    Experiment("fig4", "Read bandwidth: thread pinning", "3.3", fig04.run),
+    Experiment("fig5", "Read NUMA effects (near/far, cold/warm)", "3.4", fig05.run),
+    Experiment("fig6", "Read from multiple sockets (PMEM/DRAM)", "3.5", fig06.run),
+    Experiment("fig7", "Write bandwidth: access size x thread count", "4.1-4.2", fig07.run),
+    Experiment("fig8", "Write bandwidth heatmap (boomerang)", "4.2", fig08.run),
+    Experiment("fig9", "Write bandwidth: thread pinning", "4.3", fig09.run),
+    Experiment("fig10", "Writing to multiple sockets", "4.4-4.5", fig10.run),
+    Experiment("fig11", "Mixed read/write workloads", "5.1", fig11.run),
+    Experiment("fig12", "Random read bandwidth (PMEM/DRAM)", "5.2", fig12.run),
+    Experiment("fig13", "Random write bandwidth (PMEM/DRAM)", "5.2", fig13.run),
+    Experiment("fig14", "Star Schema Benchmark (Hyrise/handcrafted)", "6", fig14.run),
+    Experiment("table1", "Q2.1 optimization ladder + SSD contrast", "6.2", table1.run),
+    Experiment("bestpractices", "The 7 best practices hold", "7", bestpractices.run),
+    Experiment("daxmode", "devdax vs fsdax", "2.3", daxmode.run),
+)
+
+REGISTRY: dict[str, Experiment] = {e.exp_id: e for e in _EXPERIMENTS}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return REGISTRY[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; available: {sorted(REGISTRY)}"
+        ) from None
+
+
+def run_experiment(exp_id: str, **kwargs: object) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``'fig7'``)."""
+    return get_experiment(exp_id).runner(**kwargs)
+
+
+def all_experiment_ids() -> list[str]:
+    return [e.exp_id for e in _EXPERIMENTS]
+
+
+def run_all(**kwargs: object) -> dict[str, ExperimentResult]:
+    """Run every registered experiment (used by the report generator)."""
+    return {e.exp_id: e.runner(**kwargs) for e in _EXPERIMENTS}

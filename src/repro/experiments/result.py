@@ -1,0 +1,93 @@
+"""Experiment result containers and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One paper-reported value next to the reproduction's."""
+
+    metric: str
+    paper: float
+    measured: float
+    unit: str = "GB/s"
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper (1.0 = exact match)."""
+        if self.paper == 0:
+            raise ExperimentError(f"metric {self.metric!r} has zero paper value")
+        return self.measured / self.paper
+
+    def render(self) -> str:
+        return (
+            f"{self.metric:<58} paper={self.paper:>8.2f} "
+            f"ours={self.measured:>8.2f} {self.unit:<5} ({self.ratio:5.2f}x)"
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one reproduced figure or table."""
+
+    exp_id: str
+    title: str
+    #: series name -> {x label: value}; the rows/curves of the figure.
+    series: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Spot checks against values the paper states in its text.
+    comparisons: list[MetricComparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    unit: str = "GB/s"
+
+    def add_series(self, name: str, points: dict[str, float]) -> None:
+        if name in self.series:
+            raise ExperimentError(f"duplicate series {name!r} in {self.exp_id}")
+        self.series[name] = points
+
+    def compare(self, metric: str, paper: float, measured: float, unit: str | None = None) -> None:
+        self.comparisons.append(
+            MetricComparison(
+                metric=metric, paper=paper, measured=measured, unit=unit or self.unit
+            )
+        )
+
+    def series_values(self, name: str) -> dict[str, float]:
+        try:
+            return self.series[name]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.exp_id} has no series {name!r}; "
+                f"available: {sorted(self.series)}"
+            ) from None
+
+    @property
+    def worst_ratio_error(self) -> float:
+        """Largest |log-ratio| error across spot checks (0 = perfect)."""
+        import math
+
+        if not self.comparisons:
+            return 0.0
+        return max(abs(math.log(c.ratio)) for c in self.comparisons)
+
+    def render(self) -> str:
+        """ASCII rendering: the figure's series plus the comparisons."""
+        lines = [f"=== {self.exp_id}: {self.title} ==="]
+        for name, points in self.series.items():
+            lines.append(f"-- {name} [{self.unit}]")
+            labels = list(points)
+            for start in range(0, len(labels), 8):
+                chunk = labels[start : start + 8]
+                lines.append("   " + " | ".join(f"{l:>10}" for l in chunk))
+                lines.append(
+                    "   " + " | ".join(f"{points[l]:>10.2f}" for l in chunk)
+                )
+        if self.comparisons:
+            lines.append("-- paper vs reproduction")
+            lines.extend("   " + c.render() for c in self.comparisons)
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)

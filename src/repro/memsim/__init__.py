@@ -1,0 +1,53 @@
+"""Memory-subsystem simulator: the reproduction's hardware substrate.
+
+Public surface:
+
+* :func:`~repro.memsim.topology.paper_server` /
+  :func:`~repro.memsim.topology.build_topology` — hardware layout;
+* :func:`~repro.memsim.calibration.paper_calibration` — fitted device
+  profile;
+* :class:`~repro.memsim.bandwidth.BandwidthModel` — the analytic
+  steady-state model behind every microbenchmark figure;
+* :class:`~repro.memsim.spec.StreamSpec` and friends — workload
+  descriptions;
+* :mod:`repro.memsim.engine` — the discrete-event cross-check.
+"""
+
+from repro.memsim.address import DaxMode, InterleaveMap, MappedRegion
+from repro.memsim.bandwidth import BandwidthModel, BandwidthResult, StreamResult
+from repro.memsim.calibration import DeviceCalibration, paper_calibration
+from repro.memsim.counters import PerfCounters
+from repro.memsim.memory_mode import MemoryModeConfig, MemoryModeModel
+from repro.memsim.mixed import MixedOutcome
+from repro.memsim.wear import WearEstimate, wear_from_counters
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, Pattern, StreamSpec, read_stream, write_stream
+from repro.memsim.topology import MediaKind, SystemTopology, build_topology, paper_server
+
+__all__ = [
+    "BandwidthModel",
+    "BandwidthResult",
+    "DaxMode",
+    "DeviceCalibration",
+    "InterleaveMap",
+    "Layout",
+    "MappedRegion",
+    "MediaKind",
+    "MemoryModeConfig",
+    "MemoryModeModel",
+    "MixedOutcome",
+    "Op",
+    "Pattern",
+    "PerfCounters",
+    "PinningPolicy",
+    "StreamResult",
+    "StreamSpec",
+    "SystemTopology",
+    "WearEstimate",
+    "build_topology",
+    "paper_calibration",
+    "paper_server",
+    "read_stream",
+    "wear_from_counters",
+    "write_stream",
+]

@@ -1,0 +1,137 @@
+"""Address-space and DIMM-interleaving arithmetic.
+
+Implements the striping behaviour of the paper's Figure 2: data on one
+socket's PMEM is interleaved across its six DIMMs in 4 KB steps, so an
+access of more than ``(ways - 1) * 4 KB + 1`` bytes is guaranteed to touch
+every DIMM, and the set of DIMMs engaged by a group of threads reading a
+contiguous window is a pure function of the window size.
+
+Also models the devdax/fsdax distinction of §2.3: fsdax mappings pay a
+page-fault (plus page-zeroing) cost on first touch, devdax does not.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memsim.constants import INTERLEAVE_SIZE, PMEM_PAGE_SIZE
+
+
+class DaxMode(enum.Enum):
+    """How App Direct PMEM is exposed to the application (§2.1, §2.3)."""
+
+    DEVDAX = "devdax"
+    FSDAX = "fsdax"
+
+
+@dataclass(frozen=True)
+class InterleaveMap:
+    """Round-robin striping of a linear address space across DIMMs."""
+
+    ways: int
+    granularity: int = INTERLEAVE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.ways < 1:
+            raise ConfigurationError(f"interleave ways must be >= 1, got {self.ways}")
+        if self.granularity < 1:
+            raise ConfigurationError(
+                f"interleave granularity must be >= 1, got {self.granularity}"
+            )
+
+    def dimm_of(self, address: int) -> int:
+        """The DIMM index (0-based, per socket) holding ``address``."""
+        if address < 0:
+            raise ConfigurationError(f"address must be non-negative, got {address}")
+        return (address // self.granularity) % self.ways
+
+    def dimms_touched(self, address: int, size: int) -> frozenset[int]:
+        """The set of DIMM indices an access ``[address, address+size)`` hits."""
+        if size <= 0:
+            raise ConfigurationError(f"access size must be positive, got {size}")
+        first_stripe = address // self.granularity
+        last_stripe = (address + size - 1) // self.granularity
+        n_stripes = last_stripe - first_stripe + 1
+        if n_stripes >= self.ways:
+            return frozenset(range(self.ways))
+        return frozenset((first_stripe + i) % self.ways for i in range(n_stripes))
+
+    def span_dimm_count(self, size: int) -> int:
+        """Worst-case-free DIMM count for an *aligned* access of ``size``.
+
+        An access aligned to the interleave granularity touches exactly
+        ``ceil(size / granularity)`` stripes (capped at ``ways``); this is
+        the "aligned 4 KB writes target exactly one DIMM" property of §4.1.
+        """
+        if size <= 0:
+            raise ConfigurationError(f"access size must be positive, got {size}")
+        return min(self.ways, math.ceil(size / self.granularity))
+
+    def window_parallelism(self, window_bytes: float) -> float:
+        """Effective DIMM parallelism of a moving contiguous window.
+
+        A group of threads collectively reading one sequential stream has,
+        at any instant, an active window of roughly ``threads *
+        access_size`` bytes. As the window slides it straddles stripe
+        boundaries, so on average it engages one more stripe than its size
+        alone covers. This fractional quantity drives the grouped-access
+        bandwidth of Figures 3 and 7: a 64 B x 36 thread window (2.3 KB)
+        keeps under two DIMMs busy, while a 4 KB x 6+ thread window
+        engages all six.
+        """
+        if window_bytes <= 0:
+            raise ConfigurationError("window must be positive")
+        return min(float(self.ways), 1.0 + window_bytes / self.granularity)
+
+
+@dataclass(frozen=True)
+class MappedRegion:
+    """A PMEM mapping with a dax mode and a fault state (§2.3).
+
+    ``prefaulted`` models running the experiment after all pages were
+    touched once; the paper shows devdax and fsdax then perform
+    identically.
+    """
+
+    size: int
+    dax_mode: DaxMode = DaxMode.DEVDAX
+    prefaulted: bool = False
+    page_size: int = PMEM_PAGE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"region size must be positive, got {self.size}")
+        if self.page_size <= 0:
+            raise ConfigurationError("page size must be positive")
+
+    @property
+    def pages(self) -> int:
+        """Number of (huge) pages backing the region."""
+        return math.ceil(self.size / self.page_size)
+
+    def fault_cost(self, per_fault_seconds: float) -> float:
+        """Total first-touch page-fault cost for a cold traversal, seconds.
+
+        devdax has no page cache and no zeroing, so the cost is zero; a
+        prefaulted fsdax region also costs nothing (§2.3's verification
+        experiment). Otherwise every page faults once: at the paper's
+        0.5 ms per 2 MB page, faulting 1 GB costs at least 0.25 s.
+        """
+        if self.dax_mode is DaxMode.DEVDAX or self.prefaulted:
+            return 0.0
+        return self.pages * per_fault_seconds
+
+
+def fsdax_bandwidth_factor(devdax_advantage: float) -> float:
+    """Steady-state fsdax bandwidth relative to devdax.
+
+    §2.3: devdax consistently achieves 5-10% higher bandwidth; with the
+    calibrated midpoint ``devdax_advantage`` of 7.5% the fsdax factor is
+    ``1 / 1.075``.
+    """
+    if devdax_advantage < 0:
+        raise ConfigurationError("devdax advantage cannot be negative")
+    return 1.0 / (1.0 + devdax_advantage)

@@ -1,0 +1,358 @@
+"""Calibrated device parameters for the memory-subsystem model.
+
+Every quantity in this module is a *fitted* parameter: its value was
+chosen once so that the mechanistic model in :mod:`repro.memsim.bandwidth`
+reproduces the curves published in the paper. Each field documents the
+paper datapoint that pins it. Experiment modules never contain bandwidth
+constants of their own — if a figure looks wrong, this file and the
+mechanisms are the only places to look.
+
+The default profile, :func:`paper_calibration`, models the paper's
+evaluation server (dual Xeon Gold 5220S, 6 x 128 GB Optane 100-series and
+6 x 16 GB DDR4-2666 per socket). Alternative PMEM generations or DRAM
+speeds can be modeled by constructing a different
+:class:`DeviceCalibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class PmemCalibration:
+    """Fitted parameters of one socket's set of six Optane DIMMs."""
+
+    #: Peak sequential read bandwidth of one socket's six DIMMs combined.
+    #: Anchor: Fig. 3 peaks at ~40 GB/s.
+    seq_read_max: float = 40.0
+
+    #: Peak sequential write bandwidth of one socket (write-combining
+    #: fully effective). Anchor: Fig. 7, global maximum 12.6 GB/s.
+    seq_write_max: float = 13.2
+
+    #: Per-thread fixed cost of issuing one read access, seconds. Small
+    #: enough that individual-access read bandwidth is nearly flat in the
+    #: access size (Fig. 3b "impacting the bandwidth only marginally").
+    read_op_overhead: float = 8e-9
+
+    #: Per-thread streaming rate for reads (AVX-512 ``vmovntdqa``), GB/s.
+    #: Anchor: 8 threads reach ~85% of the 40 GB/s peak (Fig. 3, §3.2),
+    #: 16-18 threads saturate it.
+    read_stream_rate: float = 4.5
+
+    #: Per-thread fixed cost of one write op including the trailing
+    #: ``sfence``, seconds. Anchor: individual 64 B writes reach 9.6 GB/s
+    #: with 36 threads (§4.1) => ~0.27 GB/s per thread.
+    write_op_overhead: float = 220e-9
+
+    #: Per-thread streaming rate for non-temporal writes, GB/s. Anchor:
+    #: 4 threads at 4 KB reach the 12.6 GB/s peak (Fig. 7/8).
+    write_stream_rate: float = 3.8
+
+    #: Thread count at and below which the write-combining buffers keep up
+    #: regardless of access size. Anchor: Fig. 8, 4-6 threads hold peak
+    #: bandwidth out to 32 MB accesses while 8 threads degrade.
+    wc_safe_threads: int = 6
+
+    #: Strength of the write-combining pressure term (dimensionless).
+    #: Together with ``wc_floor`` it shapes the "boomerang" of Fig. 8:
+    #: bandwidth collapses only when *both* threads and access size grow.
+    wc_pressure_coeff: float = 0.35
+
+    #: Exponent applied to the access-size term of the WC pressure.
+    wc_size_exponent: float = 0.8
+
+    #: Exponent applied to the excess-thread term. Superlinear, so that
+    #: 8 threads degrade only for large accesses while 18+ threads fall
+    #: to the floor already at ~1 KB (Fig. 7a: the 256 B secondary peak,
+    #: then "stabilizing at around 5-6 GB/s").
+    wc_thread_exponent: float = 1.35
+
+    #: Lower bound on write-combining efficiency. Anchor: large accesses
+    #: with 18+ threads stabilize around 5-6 GB/s (§4.2) ~= 0.40 * 13.2.
+    wc_floor: float = 0.40
+
+    #: Fraction of the near-socket per-thread write rate attainable when
+    #: writing through the UPI (blocking stores see the full cross-socket
+    #: latency). Anchor: far writes need 6-8 threads to peak (Fig. 10).
+    far_write_thread_factor: float = 0.35
+
+    #: Peak far-socket write bandwidth (single writing socket). Anchor:
+    #: Fig. 10, ~7 GB/s with 8 threads.
+    far_write_max: float = 7.0
+
+    #: Peak per-socket write bandwidth when both sockets write to their
+    #: respective far PMEM. Anchor: Fig. 10, "2 Far" peaks at ~13 GB/s
+    #: total => 6.5 GB/s per socket.
+    far_write_contended_max: float = 6.5
+
+    #: Total bandwidth cap when one socket writes near and the other
+    #: writes the same (far) PMEM. Anchor: Fig. 10 (iii) peaks at ~8 GB/s.
+    mixed_socket_write_max: float = 8.0
+
+    #: Internal media write amplification observed for far writes at high
+    #: thread counts (ntstore degrading to read-modify-write). Anchor:
+    #: §4.4 reports up to 10x (~500 MB/s of payload driving ~5 GB/s).
+    far_write_amplification_max: float = 10.0
+
+    #: Cold (first-run) far-read bandwidth cap, before the cross-socket
+    #: coherence directory has been populated. Anchor: Fig. 5, first far
+    #: run peaks at ~8 GB/s with 4 threads.
+    cold_far_read_max: float = 8.0
+
+    #: Thread count at which the cold far-read cap peaks (Fig. 5).
+    cold_far_read_best_threads: int = 4
+
+    #: Per-extra-thread decay of the cold far-read cap beyond the optimum
+    #: (remapping churn grows with concurrency).
+    cold_far_read_decay: float = 0.025
+
+    #: Warm far-read bandwidth cap through the UPI. Anchor: Fig. 5 second
+    #: run ~33 GB/s.
+    warm_far_read_max: float = 33.0
+
+    #: Per-socket read cap when *both* sockets read their far PMEM and the
+    #: two data directions plus queue pollution contend. Anchor: Fig. 6a
+    #: "2 Far" flattens at ~50 GB/s total => 25 GB/s per socket.
+    far_far_read_per_socket: float = 25.0
+
+    #: Total read cap when one socket reads near while the other socket
+    #: reads the same PMEM from far (coherence writes + RPQ pollution).
+    #: Anchor: Fig. 6a (v) "yields a very low bandwidth".
+    shared_target_read_max: float = 18.0
+
+    #: Random-read media efficiency at >= 4 KB accesses, relative to the
+    #: sequential peak. Anchor: §5.2, "only up to ~2/3 of the maximum".
+    random_read_peak_fraction: float = 0.67
+
+    #: Random-write media efficiency at large accesses, relative to the
+    #: sequential peak. Anchor: §5.2, ~2/3 for PMEM.
+    random_write_peak_fraction: float = 0.67
+
+    #: Added latency per independent random read op, seconds. Shapes the
+    #: thread scaling of random reads (hyperthreading keeps helping, §5.2).
+    random_read_latency: float = 600e-9
+
+    #: Per-thread streaming rate inside one random read op, GB/s.
+    random_read_stream_rate: float = 3.5
+
+    #: Bandwidth advantage of devdax over fsdax with cold pages. Anchor:
+    #: §2.3, devdax is consistently 5-10% faster; we model the midpoint.
+    devdax_advantage: float = 0.075
+
+    #: Time to fault one 2 MB PMEM page under fsdax, seconds (§2.3).
+    page_fault_cost: float = 0.5e-3
+
+
+@dataclass(frozen=True)
+class DramCalibration:
+    """Fitted parameters of one socket's set of six DDR4 DIMMs."""
+
+    #: Peak sequential read bandwidth of one socket. Anchor: Fig. 6b,
+    #: single-socket near DRAM reads peak at ~100 GB/s.
+    seq_read_max: float = 100.0
+
+    #: Whole-system efficiency once both sockets stream reads (package
+    #: power/snoop effects). Anchor: Fig. 6b, 2 Near = 185 GB/s, not 200.
+    dual_socket_efficiency: float = 0.925
+
+    #: Peak sequential write bandwidth of one socket. Inferred: §5.2 says
+    #: random DRAM writes reach ~50% of the sequential maximum and Fig. 13b
+    #: tops out around 40 GB/s on a 3-channel region => ~80 GB/s sequential
+    #: across 6 channels.
+    seq_write_max: float = 80.0
+
+    #: Per-thread read streaming rate, GB/s (single-core DDR4 stream).
+    read_stream_rate: float = 11.0
+
+    #: Per-thread fixed read op cost, seconds.
+    read_op_overhead: float = 8e-9
+
+    #: Per-thread write streaming rate, GB/s.
+    write_stream_rate: float = 7.5
+
+    #: Per-thread fixed write op cost, seconds.
+    write_op_overhead: float = 60e-9
+
+    #: Warm far-read cap through the UPI (same link as PMEM). Anchor:
+    #: Fig. 6b, 1 Far ~33 GB/s, 2 Far ~60 GB/s total.
+    warm_far_read_max: float = 33.0
+
+    #: Total read cap for the near + far shared-target configuration.
+    #: Anchor: Fig. 6b (v) "nearly achieving the performance of only far
+    #: access on both sockets" (~60 GB/s) => slightly below.
+    shared_target_read_max: float = 57.0
+
+    #: Per-socket read cap when both sockets read their far DRAM (UPI
+    #: payload split across both directions plus snoop pressure). Anchor:
+    #: Fig. 6b, "2 Far" peaks at ~60 GB/s total.
+    far_far_read_per_socket: float = 30.0
+
+    #: Fraction of sequential bandwidth reached by random access on a
+    #: region large enough to engage all channels (§5.2: ~90%).
+    random_large_region_fraction: float = 0.90
+
+    #: Fraction reached on a small (single-NUMA-node, 3-channel) region
+    #: (§5.2: ~50% because only half the channels serve requests).
+    random_small_region_fraction: float = 0.50
+
+    #: Region size below which a DRAM allocation lands on one NUMA node
+    #: (first-touch policy fills local node first). The paper's 2 GB hash
+    #: region exhibits this; its 90 GB run does not.
+    small_region_threshold: int = 8 * 1024**3
+
+    #: Random read latency per op, seconds (shapes thread scaling).
+    random_read_latency: float = 140e-9
+
+
+@dataclass(frozen=True)
+class SsdCalibration:
+    """NVMe SSD reference device (Intel DC P4610, paper §6.2 footnote)."""
+
+    #: Sequential read bandwidth, GB/s (vendor number quoted in paper).
+    seq_read_max: float = 3.20
+
+    #: Sequential write bandwidth, GB/s.
+    seq_write_max: float = 2.08
+
+    #: 4 KB random read IOPS-equivalent bandwidth, GB/s (vendor ~640k IOPS).
+    random_read_max: float = 2.55
+
+
+@dataclass(frozen=True)
+class InterconnectCalibration:
+    """UPI link and cross-socket coherence parameters."""
+
+    #: Raw UPI bandwidth per direction, GB/s. The paper quotes "~40 GB/s
+    #: per direction" with ~25% metadata (=> ~30 GB/s payload) yet
+    #: measures 33 GB/s warm far reads; we resolve the tension by setting
+    #: the raw rate so that payload capacity matches the measured 33 GB/s.
+    raw_per_direction: float = 44.3
+
+    #: Fraction of raw UPI bandwidth consumed by metadata/snoop traffic
+    #: (§3.5: "about 25% of this is required for metadata transfer").
+    metadata_fraction: float = 0.25
+
+    @property
+    def data_per_direction(self) -> float:
+        """Usable payload bandwidth per direction (~31 GB/s, §3.5)."""
+        return self.raw_per_direction * (1.0 - self.metadata_fraction)
+
+
+@dataclass(frozen=True)
+class CpuCalibration:
+    """Core-side effects: hyperthreading, prefetching, scheduling."""
+
+    #: Strength of the L2-sharing penalty when a NUMA region runs more
+    #: threads than physical cores. The penalty is worst when HT pairs are
+    #: *imbalanced* (some cores share L2, some do not): Fig. 4 shows 24
+    #: threads below the 18-thread peak while 36 threads recover it.
+    ht_imbalance_penalty: float = 0.08
+
+    #: Bandwidth factor for grouped reads of 1-2 KB with the L2 hardware
+    #: prefetcher enabled. Anchor: Fig. 3a's dip ("performs poorly for 1
+    #: and 2 KB access", §3.1); disabling the prefetcher removes it.
+    prefetch_dip_factor: float = 0.62
+
+    #: Read-bandwidth factor for low thread counts when the prefetcher is
+    #: *disabled* (§3.2: "lower thread counts (<8) perform worse").
+    no_prefetch_low_thread_factor: float = 0.75
+
+    #: Relative scheduling overhead of NUMA-region pinning vs. explicit
+    #: core pinning once threads exceed physical cores (Fig. 4/9: ~40 vs
+    #: ~41 GB/s at 18+ threads).
+    numa_pinning_overhead: float = 0.975
+
+    #: Additional write-combining loss under NUMA-region pinning caused by
+    #: intra-region node changes routing writes through different iMCs
+    #: (§4.3).
+    numa_pinning_write_overhead: float = 0.95
+
+    #: Bandwidth factor for fully unpinned reads: the scheduler migrates
+    #: threads across sockets, so accesses keep re-triggering the cold-far
+    #: remapping path. Anchor: Fig. 4, "None" peaks at ~9 GB/s (~4x worse).
+    unpinned_read_factor: float = 1.15  # applied to the cold-far envelope
+
+    #: Bandwidth factor for fully unpinned writes. Anchor: Fig. 9, "None"
+    #: peaks at ~7 GB/s (~2x worse than pinned).
+    unpinned_write_factor: float = 0.55
+
+
+@dataclass(frozen=True)
+class MixedCalibration:
+    """Interference coefficients for concurrent reads and writes (§5.1).
+
+    Interference is driven by *demand* (what each side would consume if it
+    ran alone, as a fraction of its device maximum), not by the achieved
+    bandwidth: a single write thread hurts readers because write requests
+    occupy the iMC disproportionately long, even though the writer itself
+    moves little data.
+    """
+
+    #: Linear coefficient of write-demand interference on reads. Anchors:
+    #: one writer drops 30 readers from ~31 to ~26 GB/s; saturating
+    #: writers (4-6) leave readers ~35-45% of their maximum.
+    read_interference_coeff: float = 1.8
+
+    #: Coefficient of read-demand interference on writes. Anchors: one
+    #: reader barely dents 4 writers (~12 of 12.6 GB/s); 18-30 readers
+    #: push writers to ~33-42% of their maximum.
+    write_interference_coeff: float = 1.86
+
+    #: Exponent of the read-demand term; the steep rise between one reader
+    #: and a saturating reader pool requires a superlinear response.
+    write_interference_exponent: float = 1.62
+
+
+@dataclass(frozen=True)
+class DeviceCalibration:
+    """Complete calibration profile for one modeled server."""
+
+    pmem: PmemCalibration = field(default_factory=PmemCalibration)
+    dram: DramCalibration = field(default_factory=DramCalibration)
+    ssd: SsdCalibration = field(default_factory=SsdCalibration)
+    upi: InterconnectCalibration = field(default_factory=InterconnectCalibration)
+    cpu: CpuCalibration = field(default_factory=CpuCalibration)
+    mixed: MixedCalibration = field(default_factory=MixedCalibration)
+
+    def validate(self) -> None:
+        """Raise :class:`CalibrationError` on physically impossible values.
+
+        Checks that every bandwidth/rate/latency field is positive, that
+        fractions lie in (0, 1], and that a handful of cross-field
+        relations hold (PMEM slower than DRAM, writes slower than reads,
+        far slower than near) — the orderings every experiment relies on.
+        """
+        for group in (self.pmem, self.dram, self.ssd, self.upi, self.cpu, self.mixed):
+            for f in fields(group):
+                value = getattr(group, f.name)
+                if isinstance(value, (int, float)) and value <= 0:
+                    raise CalibrationError(
+                        f"{type(group).__name__}.{f.name} must be positive, got {value}"
+                    )
+        p, d = self.pmem, self.dram
+        if p.seq_read_max >= d.seq_read_max:
+            raise CalibrationError("PMEM sequential reads must be slower than DRAM")
+        if p.seq_write_max >= p.seq_read_max:
+            raise CalibrationError("PMEM writes must be slower than PMEM reads")
+        if p.cold_far_read_max >= p.warm_far_read_max:
+            raise CalibrationError("cold far reads must be slower than warm far reads")
+        if p.warm_far_read_max >= p.seq_read_max:
+            raise CalibrationError("far reads must be slower than near reads")
+        if not 0 < self.upi.metadata_fraction < 1:
+            raise CalibrationError("UPI metadata fraction must be in (0, 1)")
+        for name in ("random_read_peak_fraction", "random_write_peak_fraction"):
+            if not 0 < getattr(p, name) <= 1:
+                raise CalibrationError(f"pmem.{name} must be in (0, 1]")
+        if self.ssd.seq_read_max >= p.seq_read_max:
+            raise CalibrationError("the SSD must be slower than PMEM")
+
+
+def paper_calibration() -> DeviceCalibration:
+    """Return the calibration matching the paper's evaluation server."""
+    calibration = DeviceCalibration()
+    calibration.validate()
+    return calibration

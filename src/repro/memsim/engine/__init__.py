@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine (mechanism-level cross-check).
+
+See :mod:`repro.memsim.engine.simulator` for the model description.
+"""
+
+from repro.memsim.engine.simulator import (
+    DiscreteEventEngine,
+    EngineConfig,
+    EngineResult,
+    MixedEngineConfig,
+    MixedEngineResult,
+    simulate,
+    simulate_mixed,
+)
+from repro.memsim.engine.trace import ThreadTrace, build_traces
+
+__all__ = [
+    "DiscreteEventEngine",
+    "EngineConfig",
+    "EngineResult",
+    "MixedEngineConfig",
+    "MixedEngineResult",
+    "ThreadTrace",
+    "build_traces",
+    "simulate",
+    "simulate_mixed",
+]

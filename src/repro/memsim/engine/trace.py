@@ -1,0 +1,134 @@
+"""Access-trace generation for the discrete-event engine.
+
+Produces, per thread, the lazy sequence of ``(address, size)`` operations
+that the paper's microbenchmarks issue:
+
+* **grouped** sequential access interleaves ops across threads so the
+  group forms one global sequential stream — thread ``i``'s ``k``-th op
+  starts at ``(k * threads + i) * access_size``;
+* **individual** sequential access gives each thread its own contiguous
+  slice of the region;
+* **random** access draws op offsets uniformly from the region with a
+  deterministic per-thread RNG.
+
+Addresses are socket-local physical offsets; the engine maps them to
+DIMMs through :class:`~repro.memsim.address.InterleaveMap`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.memsim.spec import Layout, Pattern
+
+
+@dataclass(frozen=True)
+class ThreadTrace:
+    """One thread's op stream: a lazily evaluated (address, size) source."""
+
+    thread_id: int
+    op_count: int
+    access_size: int
+    _addresses: "AddressSource"
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for k in range(self.op_count):
+            yield self._addresses.address(k), self.access_size
+
+
+class AddressSource:
+    """Strategy object producing the k-th op address for one thread."""
+
+    def address(self, k: int) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class GroupedSource(AddressSource):
+    thread_id: int
+    threads: int
+    access_size: int
+
+    def address(self, k: int) -> int:
+        return (k * self.threads + self.thread_id) * self.access_size
+
+
+@dataclass(frozen=True)
+class IndividualSource(AddressSource):
+    thread_id: int
+    slice_bytes: int
+    access_size: int
+
+    def address(self, k: int) -> int:
+        return self.thread_id * self.slice_bytes + k * self.access_size
+
+
+class RandomSource(AddressSource):
+    """Uniform random op offsets within a region, reproducible by seed."""
+
+    def __init__(self, thread_id: int, region_bytes: int, access_size: int, seed: int):
+        if region_bytes < access_size:
+            raise WorkloadError("region smaller than one access")
+        self._rng = np.random.default_rng((seed, thread_id))
+        self._region = region_bytes
+        self._size = access_size
+        self._cache: list[int] = []
+
+    def address(self, k: int) -> int:
+        while len(self._cache) <= k:
+            draw = int(self._rng.integers(0, self._region - self._size))
+            self._cache.append(draw - draw % 64)  # cache-line aligned
+        return self._cache[k]
+
+
+def build_traces(
+    threads: int,
+    access_size: int,
+    total_bytes: int,
+    layout: Layout,
+    pattern: Pattern,
+    region_bytes: int | None = None,
+    seed: int = 7,
+) -> list[ThreadTrace]:
+    """Build one trace per thread covering ``total_bytes`` overall.
+
+    The volume is divided evenly; any remainder below one op per thread
+    is dropped (the engine measures steady-state bandwidth, so the tail
+    does not matter).
+    """
+    if threads < 1:
+        raise WorkloadError("need at least one thread")
+    if access_size < 1:
+        raise WorkloadError("access size must be positive")
+    ops_total = total_bytes // access_size
+    ops_per_thread = ops_total // threads
+    if ops_per_thread < 1:
+        raise WorkloadError(
+            f"total volume {total_bytes} too small for {threads} threads "
+            f"of {access_size} B accesses"
+        )
+    traces = []
+    for tid in range(threads):
+        source: AddressSource
+        if pattern is Pattern.RANDOM:
+            source = RandomSource(
+                tid, region_bytes or total_bytes, access_size, seed
+            )
+        elif layout is Layout.GROUPED:
+            source = GroupedSource(tid, threads, access_size)
+        else:
+            slice_bytes = ops_per_thread * access_size
+            source = IndividualSource(tid, slice_bytes, access_size)
+        traces.append(
+            ThreadTrace(
+                thread_id=tid,
+                op_count=ops_per_thread,
+                access_size=access_size,
+                _addresses=source,
+            )
+        )
+    return traces

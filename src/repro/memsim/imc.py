@@ -1,0 +1,65 @@
+"""Integrated-memory-controller (iMC) queue model.
+
+Each NUMA node's iMC holds read- and write-pending queues (RPQ/WPQ) in
+front of its three memory channels. Two phenomena live here:
+
+* **Write masking**: the WPQ acknowledges stores long before the media
+  completes them, so applications can overrun the device; sustained
+  overrun shows up as full WPQs and stalled store issue (§4.2).
+* **Cross-socket pollution**: requests arriving over UPI interleave into
+  the same queues as local ones with extra latency jitter, destroying the
+  near-sequential insertion order local threads produce. On Optane this
+  causes extra 256 B line fetches (read amplification) — the mechanism
+  behind the low "1 Near + 1 Far on the same PMEM" bandwidth (§3.5).
+
+The analytic bandwidth model consumes the pollution factors; the
+discrete-event engine uses the queue depths directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ImcModel:
+    """Queue-level behaviour of one integrated memory controller."""
+
+    #: Entries in each read pending queue. Intel documents RPQs on this
+    #: platform generation around this depth; the exact value only shapes
+    #: the DES warm-up, not steady-state bandwidth.
+    rpq_depth: int = 64
+
+    #: Entries in each write pending queue.
+    wpq_depth: int = 32
+
+    #: Read-amplification factor applied to a local Optane stream when a
+    #: remote socket's requests interleave into the same queues. Fitted to
+    #: the Fig. 6a shared-target collapse together with the coherence
+    #: write traffic modeled in :mod:`repro.memsim.bandwidth`.
+    cross_socket_read_amplification: float = 2.0
+
+    #: Fraction of per-socket far-read bandwidth retained when *both*
+    #: sockets read their far PMEM simultaneously (queue pollution on both
+    #: home iMCs, on top of the UPI capacity split).
+    far_far_pollution_factor: float = 0.82
+
+    def occupancy(self, offered_gbps: float, service_gbps: float) -> float:
+        """Steady-state queue occupancy fraction for an offered load.
+
+        A simple M/D/1-flavoured saturation curve: occupancy approaches 1
+        as the offered load approaches the service rate. Used to populate
+        the RPQ/WPQ occupancy counters that the paper reads out of VTune.
+        """
+        if service_gbps <= 0:
+            raise WorkloadError("service rate must be positive")
+        if offered_gbps < 0:
+            raise WorkloadError("offered load cannot be negative")
+        rho = min(offered_gbps / service_gbps, 1.0)
+        if rho >= 1.0:
+            return 1.0
+        # Mean queue length of M/D/1, normalised into [0, 1).
+        queue = rho + rho * rho / (2.0 * (1.0 - rho))
+        return min(1.0, queue / (1.0 + queue))

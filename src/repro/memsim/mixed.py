@@ -1,0 +1,129 @@
+"""Mixed read/write interference model (paper §5.1).
+
+When reads and writes hit the same PMEM DIMMs concurrently, both lose
+bandwidth — and the loss is driven by the *presence* and demand of the
+other side, not by the bandwidth it achieves. A single write thread
+moving under 3 GB/s costs a 30-thread reader pool ~5 GB/s because write
+requests occupy the iMC/media disproportionately long; conversely, a
+saturating reader pool pushes writers to about a third of their maximum
+while a single reader barely registers.
+
+The calibrated law (see :class:`~repro.memsim.calibration.MixedCalibration`):
+
+    read_factor  = 1 / (1 + a * write_demand)
+    write_factor = 1 / (1 + c * read_demand ** e)
+
+where demand is the bandwidth each side would achieve *alone*, normalised
+by its device maximum and clamped to [0, 1]. The combined bandwidth never
+exceeds the uncontended read maximum, matching the paper's observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.memsim.calibration import DeviceCalibration
+from repro.memsim.topology import MediaKind
+
+
+@dataclass(frozen=True)
+class MixedOutcome:
+    """Resolved bandwidths of a concurrent read and write stream pair."""
+
+    read_gbps: float
+    write_gbps: float
+    read_alone_gbps: float
+    write_alone_gbps: float
+
+    @property
+    def total_gbps(self) -> float:
+        return self.read_gbps + self.write_gbps
+
+    @property
+    def read_retention(self) -> float:
+        """Fraction of the uncontended read bandwidth retained."""
+        if self.read_alone_gbps <= 0:
+            return 1.0
+        return self.read_gbps / self.read_alone_gbps
+
+    @property
+    def write_retention(self) -> float:
+        """Fraction of the uncontended write bandwidth retained."""
+        if self.write_alone_gbps <= 0:
+            return 1.0
+        return self.write_gbps / self.write_alone_gbps
+
+
+def interference_factors(
+    cal: DeviceCalibration,
+    media: MediaKind,
+    read_alone_gbps: float,
+    write_alone_gbps: float,
+) -> tuple[float, float]:
+    """Return ``(read_factor, write_factor)`` for one device group.
+
+    DRAM shows the same qualitative interference but much weaker (§5.1:
+    "the read/write imbalance is considerably smaller on DRAM"), modeled
+    by scaling both coefficients down.
+    """
+    if read_alone_gbps < 0 or write_alone_gbps < 0:
+        raise WorkloadError("standalone bandwidths cannot be negative")
+    m = cal.mixed
+    if media is MediaKind.PMEM:
+        read_max = cal.pmem.seq_read_max
+        write_max = cal.pmem.seq_write_max
+        read_coeff, write_coeff = m.read_interference_coeff, m.write_interference_coeff
+    elif media is MediaKind.DRAM:
+        read_max = cal.dram.seq_read_max
+        write_max = cal.dram.seq_write_max
+        dram_softening = 0.35
+        read_coeff = m.read_interference_coeff * dram_softening
+        write_coeff = m.write_interference_coeff * dram_softening
+    else:
+        raise WorkloadError(f"mixed interference not modeled for media {media}")
+
+    write_demand = min(1.0, write_alone_gbps / write_max)
+    read_demand = min(1.0, read_alone_gbps / read_max)
+    read_factor = 1.0 / (1.0 + read_coeff * write_demand)
+    write_factor = 1.0 / (
+        1.0 + write_coeff * read_demand ** m.write_interference_exponent
+    )
+    return read_factor, write_factor
+
+
+def resolve(
+    cal: DeviceCalibration,
+    media: MediaKind,
+    read_alone_gbps: float,
+    write_alone_gbps: float,
+) -> MixedOutcome:
+    """Resolve a concurrent read/write pair into achieved bandwidths.
+
+    Enforces the device-capacity invariant: the read and write shares may
+    not add up to more than one device's worth of time
+    (``B_r / R_max + B_w / W_max <= 1``); if the interference factors
+    alone leave the pair above capacity both sides are scaled down
+    proportionally.
+    """
+    read_factor, write_factor = interference_factors(
+        cal, media, read_alone_gbps, write_alone_gbps
+    )
+    read_gbps = read_alone_gbps * read_factor
+    write_gbps = write_alone_gbps * write_factor
+
+    if media is MediaKind.PMEM:
+        read_max, write_max = cal.pmem.seq_read_max, cal.pmem.seq_write_max
+    else:
+        read_max, write_max = cal.dram.seq_read_max, cal.dram.seq_write_max
+    utilization = read_gbps / read_max + write_gbps / write_max
+    if utilization > 1.0:
+        read_gbps /= utilization
+        write_gbps /= utilization
+
+    return MixedOutcome(
+        read_gbps=read_gbps,
+        write_gbps=write_gbps,
+        read_alone_gbps=read_alone_gbps,
+        write_alone_gbps=write_alone_gbps,
+    )

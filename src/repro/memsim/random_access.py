@@ -1,0 +1,190 @@
+"""Random-access bandwidth models (paper §5.2).
+
+Random access differs from sequential access in three calibrated ways:
+
+* **No prefetching / full latency per op**: each access pays a device
+  round trip, so per-thread throughput is latency-bound and *more threads
+  keep helping* — including hyperthreads, unlike sequential reads.
+* **Media efficiency**: even fully threaded, random access tops out below
+  the sequential peak (~2/3 for PMEM at >= 4 KB, ~50% around 256-512 B);
+  PMEM accesses below 256 B additionally pay 256/size amplification.
+* **DRAM region-size effect**: a small allocation (the paper's 2 GB hash
+  region) is placed on a single NUMA node and served by half the
+  channels; a large region engages all channels and reaches ~90% of
+  sequential bandwidth. PMEM is always interleaved across all DIMMs at
+  4 KB granularity, so its random bandwidth is region-size independent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.memsim.calibration import DeviceCalibration
+from repro.memsim.constants import OPTANE_LINE
+from repro.memsim.topology import MediaKind
+from repro.units import GB
+
+
+def _check(spec_threads: int, access_size: int) -> None:
+    if spec_threads < 1:
+        raise WorkloadError("thread count must be >= 1")
+    if access_size <= 0:
+        raise WorkloadError("access size must be positive")
+
+
+def pmem_random_read_media_cap(cal: DeviceCalibration, access_size: int) -> float:
+    """Device-side ceiling for random PMEM reads at ``access_size``.
+
+    Ramp anchored at ~50% of sequential for 256 B and ~2/3 at >= 4 KB;
+    sub-line accesses pay the 256 B read amplification on top.
+    """
+    p = cal.pmem
+    effective = max(access_size, OPTANE_LINE)
+    ramp = min(1.0, (effective / 4096.0) ** 0.10)
+    cap = p.seq_read_max * p.random_read_peak_fraction * ramp
+    if access_size < OPTANE_LINE:
+        cap *= access_size / OPTANE_LINE
+    return cap
+
+
+def pmem_random_read_issue(
+    cal: DeviceCalibration, threads: int, access_size: int
+) -> float:
+    """Issue-side random read bandwidth of ``threads`` threads, GB/s.
+
+    Latency-bound: every op pays the random read latency, so bandwidth
+    scales with the thread count well past the physical core count (§5.2:
+    "hyperthreading improves the PMEM bandwidth, unlike sequential
+    reads").
+    """
+    _check(threads, access_size)
+    p = cal.pmem
+    per_op_seconds = p.random_read_latency + access_size / (p.random_read_stream_rate * GB)
+    return threads * access_size / per_op_seconds / GB
+
+
+def pmem_random_read(cal: DeviceCalibration, threads: int, access_size: int) -> float:
+    """Random PMEM read bandwidth, GB/s."""
+    _check(threads, access_size)
+    return min(
+        pmem_random_read_issue(cal, threads, access_size),
+        pmem_random_read_media_cap(cal, access_size),
+    )
+
+
+def pmem_random_write_media_cap(
+    cal: DeviceCalibration, threads: int, access_size: int, wc_efficiency: float
+) -> float:
+    """Device-side ceiling for random PMEM writes.
+
+    Random writes inherit the sequential write-combining pressure (passed
+    in as ``wc_efficiency``, computed by the caller's
+    :class:`~repro.memsim.buffers.WriteCombiningModel`) plus a random
+    ramp: spatially scattered stores defeat combining below ~4 KB.
+    """
+    _check(threads, access_size)
+    if not 0 < wc_efficiency <= 1:
+        raise WorkloadError("write-combining efficiency must be in (0, 1]")
+    p = cal.pmem
+    effective = max(access_size, OPTANE_LINE)
+    ramp = min(1.0, (effective / 4096.0) ** 0.15)
+    cap = p.seq_write_max * p.random_write_peak_fraction * ramp * wc_efficiency
+    if access_size < OPTANE_LINE:
+        cap *= access_size / OPTANE_LINE
+    return cap
+
+
+def pmem_random_write_issue(
+    cal: DeviceCalibration, threads: int, access_size: int
+) -> float:
+    """Issue-side random write bandwidth, GB/s.
+
+    Each op pays the write overhead (including the sfence) plus an extra
+    random target-line fetch latency before the store can retire.
+    """
+    _check(threads, access_size)
+    p = cal.pmem
+    random_extra = 300e-9
+    per_op = p.write_op_overhead + random_extra + access_size / (p.write_stream_rate * GB)
+    return threads * access_size / per_op / GB
+
+
+def dram_channel_fraction(cal: DeviceCalibration, region_bytes: int) -> float:
+    """Fraction of a socket's DRAM channels serving a region.
+
+    First-touch allocation puts a small region on one NUMA node — half
+    the channels (§5.2); a region above the threshold spreads across all
+    of them.
+    """
+    if region_bytes <= 0:
+        raise WorkloadError("region size must be positive")
+    if region_bytes <= cal.dram.small_region_threshold:
+        return 0.5
+    return 1.0
+
+
+def dram_random_read(
+    cal: DeviceCalibration, threads: int, access_size: int, region_bytes: int
+) -> float:
+    """Random DRAM read bandwidth, GB/s (region-size dependent)."""
+    _check(threads, access_size)
+    d = cal.dram
+    channels = dram_channel_fraction(cal, region_bytes)
+    size_ramp = min(1.0, (access_size / 4096.0) ** 0.22)
+    fraction = (
+        d.random_small_region_fraction
+        if channels < 1.0
+        else d.random_large_region_fraction
+    )
+    # ``fraction`` already encodes the channel loss for small regions.
+    cap = d.seq_read_max * fraction * size_ramp
+    per_op = d.random_read_latency + access_size / (d.read_stream_rate * GB)
+    issue = threads * access_size / per_op / GB
+    return min(issue, cap)
+
+
+def dram_random_write(
+    cal: DeviceCalibration, threads: int, access_size: int, region_bytes: int
+) -> float:
+    """Random DRAM write bandwidth, GB/s.
+
+    DRAM random writes keep scaling with threads and are insensitive to
+    access size beyond the ramp (§5.2: "the access size has little impact
+    on the DRAM bandwidth and more threads achieve higher bandwidths").
+    """
+    _check(threads, access_size)
+    d = cal.dram
+    channels = dram_channel_fraction(cal, region_bytes)
+    size_ramp = min(1.0, (access_size / 2048.0) ** 0.15)
+    fraction = (
+        d.random_small_region_fraction
+        if channels < 1.0
+        else d.random_large_region_fraction
+    )
+    cap = d.seq_write_max * fraction * size_ramp
+    per_op = d.random_read_latency + access_size / (d.write_stream_rate * GB)
+    issue = threads * access_size / per_op / GB
+    return min(issue, cap)
+
+
+def random_bandwidth(
+    cal: DeviceCalibration,
+    media: MediaKind,
+    op_is_read: bool,
+    threads: int,
+    access_size: int,
+    region_bytes: int,
+    wc_efficiency: float = 1.0,
+) -> float:
+    """Dispatch helper used by the main bandwidth model."""
+    if media is MediaKind.PMEM:
+        if op_is_read:
+            return pmem_random_read(cal, threads, access_size)
+        return min(
+            pmem_random_write_issue(cal, threads, access_size),
+            pmem_random_write_media_cap(cal, threads, access_size, wc_efficiency),
+        )
+    if media is MediaKind.DRAM:
+        if op_is_read:
+            return dram_random_read(cal, threads, access_size, region_bytes)
+        return dram_random_write(cal, threads, access_size, region_bytes)
+    raise WorkloadError(f"random access not modeled for media {media}")

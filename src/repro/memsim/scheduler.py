@@ -1,0 +1,116 @@
+"""OS-scheduler model for the three thread-pinning policies.
+
+The paper evaluates three ways of assigning benchmark threads to cores
+(§3.3, §4.3):
+
+* ``CORES`` — each thread pinned to one explicit core, physical cores
+  filled before hyperthread siblings. Best bandwidth; no scheduler
+  involvement.
+* ``NUMA_REGION`` — threads pinned to the socket's core set (numactl);
+  the scheduler still multiplexes threads onto cores, which costs a
+  little once threads exceed physical cores, and intra-region node
+  changes route writes through different iMCs, hurting write combining.
+* ``NONE`` — the scheduler may place threads on either socket. Threads
+  keep landing on (and migrating across) the far socket, so reads behave
+  like perpetually-cold far reads (~9 GB/s peak, 4x worse) and writes
+  halve (~7 GB/s peak, 2x worse).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.memsim.calibration import CpuCalibration
+
+
+class PinningPolicy(enum.Enum):
+    """Thread-to-core assignment strategy (paper §3.3)."""
+
+    NONE = "none"
+    NUMA_REGION = "numa_region"
+    CORES = "cores"
+
+
+@dataclass(frozen=True)
+class ThreadPlacement:
+    """Resolved placement of a thread group on one socket."""
+
+    threads: int
+    physical_cores: int
+
+    @property
+    def hyperthreaded(self) -> int:
+        """Threads that must share a physical core with a sibling."""
+        return max(0, self.threads - self.physical_cores)
+
+    @property
+    def effective_issue_threads(self) -> float:
+        """Thread count usable for bandwidth *issue* purposes.
+
+        Hyperthread siblings share the core's load/store machinery, so a
+        second thread on a core contributes only a small fraction of an
+        extra issue stream for bandwidth-bound sequential work (§3.2:
+        "adding hyperthreads does not improve the bandwidth").
+        """
+        ht_yield = 0.25
+        return min(self.threads, self.physical_cores) + self.hyperthreaded * ht_yield
+
+
+@dataclass(frozen=True)
+class SchedulerModel:
+    """Bandwidth factors determined by the pinning policy."""
+
+    cpu: CpuCalibration
+
+    def placement(self, threads: int, physical_cores: int) -> ThreadPlacement:
+        if threads < 1:
+            raise WorkloadError(f"thread count must be >= 1, got {threads}")
+        if physical_cores < 1:
+            raise WorkloadError("physical core count must be >= 1")
+        return ThreadPlacement(threads=threads, physical_cores=physical_cores)
+
+    def pinned_factor(
+        self, policy: PinningPolicy, threads: int, physical_cores: int, write: bool
+    ) -> float:
+        """Multiplicative factor for the two *pinned* policies.
+
+        ``CORES`` is the 1.0 reference. ``NUMA_REGION`` matches it exactly
+        up to the physical core count (the scheduler has a free core per
+        thread, Fig. 4) and pays a small multiplexing overhead beyond,
+        plus — for writes — the iMC-crossing write-combining loss (§4.3).
+        ``NONE`` is handled by the caller via :meth:`unpinned_mode`
+        because its behaviour is not a simple factor (reads fall onto the
+        cold-far path).
+        """
+        if policy is PinningPolicy.CORES:
+            return 1.0
+        if policy is not PinningPolicy.NUMA_REGION:
+            raise WorkloadError(
+                "pinned_factor handles CORES and NUMA_REGION; "
+                "use unpinned_mode for PinningPolicy.NONE"
+            )
+        factor = 1.0
+        if threads > physical_cores:
+            factor *= self.cpu.numa_pinning_overhead
+        if write:
+            factor *= self.cpu.numa_pinning_write_overhead
+        return factor
+
+    def unpinned_read_envelope(self, cold_far_cap_gbps: float) -> float:
+        """Read-bandwidth ceiling when threads are not pinned at all.
+
+        Migration across sockets keeps re-triggering the coherence
+        remapping that also limits cold far reads; the unpinned ceiling
+        tracks that envelope, slightly above it because a fraction of
+        accesses still happen to land near (Fig. 4: ~9 GB/s vs the ~8 GB/s
+        cold-far peak).
+        """
+        if cold_far_cap_gbps <= 0:
+            raise WorkloadError("cold far cap must be positive")
+        return cold_far_cap_gbps * self.cpu.unpinned_read_factor
+
+    def unpinned_write_factor(self) -> float:
+        """Write-bandwidth factor when threads are not pinned (Fig. 9)."""
+        return self.cpu.unpinned_write_factor

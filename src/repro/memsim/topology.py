@@ -1,0 +1,385 @@
+"""Hardware topology model of a multi-socket PMEM server.
+
+Models the structure shown in the paper's Figure 1: sockets containing
+NUMA nodes, physical cores with hyperthread siblings, integrated memory
+controllers (iMCs) with three memory channels each, PMEM and DRAM DIMMs
+per channel, and the UPI link between sockets.
+
+The default instance, :func:`paper_server`, is the paper's evaluation
+machine: 2 x Intel Xeon Gold 5220S (18 physical cores each, 2-way SMT,
+two NUMA nodes per socket), 6 x 128 GB Optane DIMMs and 6 x 16 GB DDR4
+DIMMs per socket, one UPI link. Any other geometry can be built with
+:func:`build_topology`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import TopologyError
+from repro.memsim import constants as C
+
+
+class MediaKind(enum.Enum):
+    """The kind of memory device an access targets."""
+
+    PMEM = "pmem"
+    DRAM = "dram"
+    SSD = "ssd"
+
+
+@dataclass(frozen=True)
+class Dimm:
+    """One memory module on a specific channel of a specific iMC."""
+
+    dimm_id: int
+    kind: MediaKind
+    capacity: int
+    socket_id: int
+    imc_id: int
+    channel_id: int
+
+
+@dataclass(frozen=True)
+class Core:
+    """One logical core. Physical cores are the non-hyperthread cores."""
+
+    core_id: int
+    socket_id: int
+    node_id: int
+    is_hyperthread: bool
+    sibling_id: int
+
+
+@dataclass(frozen=True)
+class Imc:
+    """One integrated memory controller serving three channels."""
+
+    imc_id: int
+    socket_id: int
+    node_id: int
+
+
+@dataclass(frozen=True)
+class NumaNode:
+    """One NUMA node: a cluster of cores plus one iMC.
+
+    The paper distinguishes NUMA *nodes* (9 cores + 1 iMC) from NUMA
+    *regions* (a whole socket = two nodes); access inside a region is
+    near, across regions is far (§2.3).
+    """
+
+    node_id: int
+    socket_id: int
+    imc_id: int
+    core_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Socket:
+    """One CPU package, i.e. one NUMA region."""
+
+    socket_id: int
+    node_ids: tuple[int, ...]
+    imc_ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class UpiLink:
+    """A point-to-point UPI link between two sockets."""
+
+    socket_a: int
+    socket_b: int
+
+    def connects(self, socket_id: int) -> bool:
+        return socket_id in (self.socket_a, self.socket_b)
+
+
+@dataclass(frozen=True)
+class SystemTopology:
+    """Immutable description of the whole server.
+
+    Construct via :func:`build_topology` or :func:`paper_server`; the
+    constructor does not validate, :meth:`validate` does and is called by
+    both factories.
+    """
+
+    sockets: tuple[Socket, ...]
+    nodes: tuple[NumaNode, ...]
+    imcs: tuple[Imc, ...]
+    cores: tuple[Core, ...]
+    dimms: tuple[Dimm, ...]
+    upi_links: tuple[UpiLink, ...] = field(default_factory=tuple)
+
+    # -- validation --------------------------------------------------
+
+    def validate(self) -> None:
+        """Check internal consistency; raise :class:`TopologyError` if bad."""
+        socket_ids = {s.socket_id for s in self.sockets}
+        if len(socket_ids) != len(self.sockets):
+            raise TopologyError("duplicate socket ids")
+        node_ids = {n.node_id for n in self.nodes}
+        if len(node_ids) != len(self.nodes):
+            raise TopologyError("duplicate NUMA node ids")
+        imc_ids = {m.imc_id for m in self.imcs}
+        if len(imc_ids) != len(self.imcs):
+            raise TopologyError("duplicate iMC ids")
+        core_ids = {c.core_id for c in self.cores}
+        if len(core_ids) != len(self.cores):
+            raise TopologyError("duplicate core ids")
+
+        for node in self.nodes:
+            if node.socket_id not in socket_ids:
+                raise TopologyError(f"node {node.node_id} on unknown socket")
+            if node.imc_id not in imc_ids:
+                raise TopologyError(f"node {node.node_id} references unknown iMC")
+            for cid in node.core_ids:
+                if cid not in core_ids:
+                    raise TopologyError(f"node {node.node_id} references unknown core {cid}")
+        for imc in self.imcs:
+            if imc.socket_id not in socket_ids:
+                raise TopologyError(f"iMC {imc.imc_id} on unknown socket")
+        for core in self.cores:
+            if core.node_id not in node_ids:
+                raise TopologyError(f"core {core.core_id} on unknown node")
+            if core.sibling_id not in core_ids:
+                raise TopologyError(f"core {core.core_id} has unknown sibling")
+            sibling = self.core(core.sibling_id)
+            if sibling.sibling_id != core.core_id:
+                raise TopologyError(f"core {core.core_id} sibling link is not symmetric")
+            if sibling.is_hyperthread == core.is_hyperthread:
+                raise TopologyError(f"core {core.core_id} and sibling are both (non-)HT")
+        for dimm in self.dimms:
+            if dimm.imc_id not in imc_ids:
+                raise TopologyError(f"DIMM {dimm.dimm_id} on unknown iMC")
+            imc = self.imc(dimm.imc_id)
+            if imc.socket_id != dimm.socket_id:
+                raise TopologyError(f"DIMM {dimm.dimm_id} socket/iMC mismatch")
+            if not 0 <= dimm.channel_id < C.CHANNELS_PER_IMC:
+                raise TopologyError(f"DIMM {dimm.dimm_id} on invalid channel")
+            if dimm.capacity <= 0:
+                raise TopologyError(f"DIMM {dimm.dimm_id} has non-positive capacity")
+        for link in self.upi_links:
+            if link.socket_a not in socket_ids or link.socket_b not in socket_ids:
+                raise TopologyError("UPI link connects unknown socket")
+            if link.socket_a == link.socket_b:
+                raise TopologyError("UPI link must connect two distinct sockets")
+        if len(self.sockets) > 1 and not self.upi_links:
+            raise TopologyError("multi-socket system requires at least one UPI link")
+
+    # -- lookups -----------------------------------------------------
+
+    def socket(self, socket_id: int) -> Socket:
+        for s in self.sockets:
+            if s.socket_id == socket_id:
+                return s
+        raise TopologyError(f"no such socket: {socket_id}")
+
+    def node(self, node_id: int) -> NumaNode:
+        for n in self.nodes:
+            if n.node_id == node_id:
+                return n
+        raise TopologyError(f"no such NUMA node: {node_id}")
+
+    def imc(self, imc_id: int) -> Imc:
+        for m in self.imcs:
+            if m.imc_id == imc_id:
+                return m
+        raise TopologyError(f"no such iMC: {imc_id}")
+
+    def core(self, core_id: int) -> Core:
+        for c in self.cores:
+            if c.core_id == core_id:
+                return c
+        raise TopologyError(f"no such core: {core_id}")
+
+    # -- derived queries ---------------------------------------------
+
+    def dimms_of(self, socket_id: int, kind: MediaKind) -> tuple[Dimm, ...]:
+        """All DIMMs of ``kind`` attached to ``socket_id``."""
+        return tuple(
+            d for d in self.dimms if d.socket_id == socket_id and d.kind == kind
+        )
+
+    def interleave_ways(self, socket_id: int, kind: MediaKind) -> int:
+        """Number of DIMMs data of ``kind`` is striped across on a socket."""
+        return len(self.dimms_of(socket_id, kind))
+
+    def physical_cores(self, socket_id: int) -> tuple[Core, ...]:
+        return tuple(
+            c
+            for c in self.cores
+            if c.socket_id == socket_id and not c.is_hyperthread
+        )
+
+    def logical_cores(self, socket_id: int) -> tuple[Core, ...]:
+        return tuple(c for c in self.cores if c.socket_id == socket_id)
+
+    def physical_core_count(self, socket_id: int) -> int:
+        return len(self.physical_cores(socket_id))
+
+    def far_socket(self, socket_id: int) -> Socket:
+        """The remote socket (only defined for two-socket systems)."""
+        others = [s for s in self.sockets if s.socket_id != socket_id]
+        if len(others) != 1:
+            raise TopologyError(
+                "far_socket is only defined for two-socket topologies; "
+                f"found {len(self.sockets)} sockets"
+            )
+        return others[0]
+
+    def upi_between(self, socket_a: int, socket_b: int) -> UpiLink:
+        for link in self.upi_links:
+            if link.connects(socket_a) and link.connects(socket_b):
+                return link
+        raise TopologyError(f"no UPI link between sockets {socket_a} and {socket_b}")
+
+    def capacity(self, kind: MediaKind) -> int:
+        """Total installed capacity of ``kind`` across all sockets, bytes."""
+        return sum(d.capacity for d in self.dimms if d.kind == kind)
+
+    def socket_capacity(self, socket_id: int, kind: MediaKind) -> int:
+        return sum(d.capacity for d in self.dimms_of(socket_id, kind))
+
+    @property
+    def socket_count(self) -> int:
+        return len(self.sockets)
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary (used by examples)."""
+        lines = [f"{self.socket_count}-socket system:"]
+        for s in self.sockets:
+            pmem = self.dimms_of(s.socket_id, MediaKind.PMEM)
+            dram = self.dimms_of(s.socket_id, MediaKind.DRAM)
+            cores = self.physical_core_count(s.socket_id)
+            logical = len(self.logical_cores(s.socket_id))
+            lines.append(
+                f"  socket {s.socket_id}: {cores} physical / {logical} logical cores, "
+                f"{len(pmem)} PMEM DIMMs ({sum(d.capacity for d in pmem) >> 30} GiB), "
+                f"{len(dram)} DRAM DIMMs ({sum(d.capacity for d in dram) >> 30} GiB)"
+            )
+        return "\n".join(lines)
+
+
+def build_topology(
+    sockets: int = C.SOCKETS,
+    physical_cores_per_socket: int = C.PHYSICAL_CORES_PER_SOCKET,
+    numa_nodes_per_socket: int = C.NUMA_NODES_PER_SOCKET,
+    imcs_per_socket: int = C.IMCS_PER_SOCKET,
+    channels_per_imc: int = C.CHANNELS_PER_IMC,
+    pmem_dimm_capacity: int = C.PMEM_DIMM_CAPACITY,
+    dram_dimm_capacity: int = C.DRAM_DIMM_CAPACITY,
+) -> SystemTopology:
+    """Construct and validate a regular topology.
+
+    Every iMC gets one PMEM and one DRAM DIMM per channel, matching the
+    paper's fully populated configuration. ``numa_nodes_per_socket`` must
+    equal ``imcs_per_socket`` (each node owns one iMC) and must divide the
+    physical core count evenly.
+    """
+    if sockets < 1:
+        raise TopologyError("need at least one socket")
+    if numa_nodes_per_socket != imcs_per_socket:
+        raise TopologyError("each NUMA node must own exactly one iMC")
+    if physical_cores_per_socket % numa_nodes_per_socket != 0:
+        raise TopologyError("cores must divide evenly across NUMA nodes")
+
+    cores_per_node = physical_cores_per_socket // numa_nodes_per_socket
+    socket_objs: list[Socket] = []
+    nodes: list[NumaNode] = []
+    imcs: list[Imc] = []
+    cores: list[Core] = []
+    dimms: list[Dimm] = []
+
+    next_core = 0
+    next_dimm = 0
+    for sid in range(sockets):
+        node_ids: list[int] = []
+        imc_ids: list[int] = []
+        for local_node in range(numa_nodes_per_socket):
+            node_id = sid * numa_nodes_per_socket + local_node
+            imc_id = node_id  # one iMC per node, shared numbering
+            node_ids.append(node_id)
+            imc_ids.append(imc_id)
+            imcs.append(Imc(imc_id=imc_id, socket_id=sid, node_id=node_id))
+
+            node_core_ids: list[int] = []
+            for _ in range(cores_per_node):
+                phys_id = next_core
+                ht_id = next_core + 1
+                next_core += 2
+                cores.append(
+                    Core(
+                        core_id=phys_id,
+                        socket_id=sid,
+                        node_id=node_id,
+                        is_hyperthread=False,
+                        sibling_id=ht_id,
+                    )
+                )
+                cores.append(
+                    Core(
+                        core_id=ht_id,
+                        socket_id=sid,
+                        node_id=node_id,
+                        is_hyperthread=True,
+                        sibling_id=phys_id,
+                    )
+                )
+                node_core_ids.extend((phys_id, ht_id))
+            nodes.append(
+                NumaNode(
+                    node_id=node_id,
+                    socket_id=sid,
+                    imc_id=imc_id,
+                    core_ids=tuple(node_core_ids),
+                )
+            )
+            for channel in range(channels_per_imc):
+                dimms.append(
+                    Dimm(
+                        dimm_id=next_dimm,
+                        kind=MediaKind.PMEM,
+                        capacity=pmem_dimm_capacity,
+                        socket_id=sid,
+                        imc_id=imc_id,
+                        channel_id=channel,
+                    )
+                )
+                next_dimm += 1
+                dimms.append(
+                    Dimm(
+                        dimm_id=next_dimm,
+                        kind=MediaKind.DRAM,
+                        capacity=dram_dimm_capacity,
+                        socket_id=sid,
+                        imc_id=imc_id,
+                        channel_id=channel,
+                    )
+                )
+                next_dimm += 1
+        socket_objs.append(
+            Socket(socket_id=sid, node_ids=tuple(node_ids), imc_ids=tuple(imc_ids))
+        )
+
+    links = tuple(
+        UpiLink(socket_a=a, socket_b=b)
+        for a in range(sockets)
+        for b in range(a + 1, sockets)
+    )
+    topology = SystemTopology(
+        sockets=tuple(socket_objs),
+        nodes=tuple(nodes),
+        imcs=tuple(imcs),
+        cores=tuple(cores),
+        dimms=dimms and tuple(dimms),
+        upi_links=links,
+    )
+    topology.validate()
+    return topology
+
+
+def paper_server() -> SystemTopology:
+    """The paper's dual-socket Xeon Gold 5220S evaluation server."""
+    return build_topology()

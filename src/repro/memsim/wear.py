@@ -1,0 +1,95 @@
+"""PMEM endurance accounting (§2.1: "Like SSDs, PMEM wears out").
+
+Optane media sustains a bounded number of writes per cell. Intel rates
+the 128 GB module at 292 PB of media writes over its 5-year warranty
+(~365 complete drive writes per day). This module converts a workload's
+*application* write rate — amplified by the write-combining and far-
+write effects the simulator tracks — into media wear and an expected
+lifetime, so the write-amplification counters become actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memsim.counters import PerfCounters
+from repro.units import GB
+
+#: Rated media-write endurance of one 128 GB Optane DIMM over its
+#: 5-year warranty (Intel datasheet: 292 PB written).
+DIMM_ENDURANCE_BYTES: float = 292e15
+
+#: Seconds in the 5-year warranty window.
+WARRANTY_SECONDS: float = 5 * 365 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class WearEstimate:
+    """Wear of one socket's DIMM set under a sustained write workload."""
+
+    app_write_gbps: float
+    write_amplification: float
+    dimms: int = 6
+
+    def __post_init__(self) -> None:
+        if self.app_write_gbps < 0:
+            raise ConfigurationError("write rate cannot be negative")
+        if self.write_amplification < 1.0:
+            raise ConfigurationError("amplification cannot be below 1.0")
+        if self.dimms < 1:
+            raise ConfigurationError("need at least one DIMM")
+
+    @property
+    def media_write_gbps(self) -> float:
+        """What the media actually absorbs, after amplification."""
+        return self.app_write_gbps * self.write_amplification
+
+    @property
+    def media_bytes_per_year(self) -> float:
+        return self.media_write_gbps * GB * 365 * 24 * 3600
+
+    @property
+    def lifetime_years(self) -> float:
+        """Years until the DIMM set reaches its rated endurance.
+
+        Interleaving spreads writes evenly, so the set's endurance is
+        the per-DIMM rating times the DIMM count.
+        """
+        if self.media_write_gbps == 0:
+            return float("inf")
+        total_endurance = DIMM_ENDURANCE_BYTES * self.dimms
+        return total_endurance / self.media_bytes_per_year
+
+    @property
+    def within_warranty(self) -> bool:
+        """True when sustained operation outlives the 5-year warranty."""
+        return self.lifetime_years >= WARRANTY_SECONDS / (365 * 24 * 3600)
+
+    def describe(self) -> str:
+        return (
+            f"{self.app_write_gbps:.1f} GB/s app writes x "
+            f"{self.write_amplification:.1f} amplification = "
+            f"{self.media_write_gbps:.1f} GB/s media -> "
+            f"{self.lifetime_years:.0f} years of endurance "
+            f"({'within' if self.within_warranty else 'EXCEEDS'} warranty wear rate)"
+        )
+
+
+def wear_from_counters(
+    counters: PerfCounters, elapsed_seconds: float, dimms: int = 6
+) -> WearEstimate:
+    """Build a wear estimate from a simulation's counters.
+
+    Uses the counters' own amplification, i.e. the exact media traffic
+    the simulated workload caused (grouped sub-line writes, buffer
+    thrash, far-write read-modify-writes all included).
+    """
+    if elapsed_seconds <= 0:
+        raise ConfigurationError("elapsed time must be positive")
+    app_gbps = counters.app_bytes_written / elapsed_seconds / GB
+    return WearEstimate(
+        app_write_gbps=app_gbps,
+        write_amplification=counters.write_amplification,
+        dimms=dimms,
+    )

@@ -1,0 +1,60 @@
+"""Star Schema Benchmark: generator, engine, indexes, profiles, runner.
+
+* :mod:`repro.ssb.schema` / :mod:`repro.ssb.dbgen` — SSB schema and a
+  deterministic, scale-factor-parameterised data generator;
+* :mod:`repro.ssb.queries` — the 13 queries as declarative plans;
+* :mod:`repro.ssb.hashindex` — the Dash-like PMEM-optimized index and
+  the PMEM-unaware chained baseline;
+* :mod:`repro.ssb.engine` — an executing query engine that records the
+  memory traffic of every operator;
+* :mod:`repro.ssb.storage` — deployment profiles (Hyrise, handcrafted,
+  the Table 1 ladder, the SSD contrast);
+* :mod:`repro.ssb.costmodel` / :mod:`repro.ssb.runner` — traffic pricing
+  via :mod:`repro.memsim` and the paper's SSB experiments.
+"""
+
+from repro.ssb.costmodel import CostBreakdown, SsbCostModel
+from repro.ssb.dbgen import SsbDatabase, Table, generate
+from repro.ssb.engine import QueryResult, SsbExecutor
+from repro.ssb.queries import ALL_QUERIES, QueryDef, flight, get_query
+from repro.ssb.runner import SsbRun, SsbRunner, average_slowdown, slowdown
+from repro.ssb.storage import (
+    HANDCRAFTED_DRAM,
+    HYBRID_PMEM_DRAM,
+    HANDCRAFTED_PMEM,
+    HYRISE_DRAM,
+    HYRISE_PMEM,
+    TRADITIONAL_SSD,
+    IndexKind,
+    SystemProfile,
+    TupleLayout,
+    table1_ladder,
+)
+
+__all__ = [
+    "ALL_QUERIES",
+    "CostBreakdown",
+    "HANDCRAFTED_DRAM",
+    "HANDCRAFTED_PMEM",
+    "HYBRID_PMEM_DRAM",
+    "HYRISE_DRAM",
+    "HYRISE_PMEM",
+    "IndexKind",
+    "QueryDef",
+    "QueryResult",
+    "SsbCostModel",
+    "SsbDatabase",
+    "SsbExecutor",
+    "SsbRun",
+    "SsbRunner",
+    "SystemProfile",
+    "TRADITIONAL_SSD",
+    "Table",
+    "TupleLayout",
+    "average_slowdown",
+    "flight",
+    "generate",
+    "get_query",
+    "slowdown",
+    "table1_ladder",
+]

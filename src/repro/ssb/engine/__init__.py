@@ -1,0 +1,6 @@
+"""Columnar SSB query engine with traffic instrumentation."""
+
+from repro.ssb.engine.executor import QueryResult, SsbExecutor
+from repro.ssb.engine.traffic import OperatorTraffic, QueryTraffic
+
+__all__ = ["OperatorTraffic", "QueryResult", "QueryTraffic", "SsbExecutor"]

@@ -1,0 +1,211 @@
+"""Query executor: runs SSB queries for real and records their traffic.
+
+Execution strategy (matching the paper's handcrafted implementation):
+
+1. scan the fact table once, applying any flight-1 predicates;
+2. for each dimension join, in plan order: probe the dimension's
+   persistent hash index with the surviving fact rows' foreign keys,
+   unpack/gather the needed dimension attributes, and apply the join's
+   dimension predicates on them;
+3. group-aggregate, materialising the (keys, measure) intermediate.
+
+Profiles differ in the index implementation (Dash with packed attribute
+values vs. a chained index requiring positional gathers), the tuple
+layout, and — for the PMEM-unaware profile — per-operator position-list
+materialisation. Dash indexes are persistent: they are built once per
+executor and their build traffic is reported separately (``build_traffic``),
+like the load phase of a real deployment. Chained indexes model Hyrise's
+per-query join hash tables, so their build cost lands in the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.ssb.dbgen import SsbDatabase
+from repro.ssb.engine import operators
+from repro.ssb.engine.operators import JoinIndex
+from repro.ssb.engine.traffic import QueryTraffic
+from repro.ssb.queries import DimensionJoin, QueryDef
+from repro.ssb.storage import IndexKind, SystemProfile
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one query execution."""
+
+    query: str
+    #: Group key tuples -> summed measure; flight-1 queries have the
+    #: single empty key ``()``.
+    groups: dict[tuple[int, ...], int]
+    #: Fact rows surviving all filters and joins.
+    qualifying_rows: int
+    traffic: QueryTraffic = field(default_factory=lambda: QueryTraffic(query=""))
+
+    @property
+    def scalar(self) -> int:
+        """The single aggregate of a flight-1 query."""
+        if self.groups and list(self.groups.keys()) != [()]:
+            raise QueryError(f"{self.query} is a grouped query")
+        return self.groups.get((), 0)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+
+def _join_attrs(join: DimensionJoin) -> tuple[str, ...]:
+    """Dimension attributes a join needs: predicate columns + payload."""
+    seen: list[str] = []
+    for predicate in join.filters:
+        if predicate.column not in seen:
+            seen.append(predicate.column)
+    for column in join.payload:
+        if column not in seen:
+            seen.append(column)
+    return tuple(seen)
+
+
+class SsbExecutor:
+    """Executes SSB queries over a generated database for one profile."""
+
+    def __init__(self, db: SsbDatabase, profile: SystemProfile) -> None:
+        self.db = db
+        self.profile = profile
+        #: Persistent Dash indexes, keyed by (table, packed attrs).
+        self._index_cache: dict[tuple[str, tuple[str, ...]], JoinIndex] = {}
+        #: Build traffic of the persistent indexes (the "load phase").
+        self.build_traffic = QueryTraffic(query="index-build")
+
+    # ------------------------------------------------------------------
+
+    def _fact_columns_used(self, query: QueryDef) -> list[str]:
+        """Fact columns the initial sequential scan must read.
+
+        A pipelined (PMEM-aware) engine carries all needed columns
+        through the pipeline, so the scan covers everything. An
+        operator-at-a-time engine materialises row-id lists and later
+        re-fetches columns by position (charged as gathers), so its scan
+        reads only what the first operator chain needs.
+        """
+        if self.profile.index_kind is IndexKind.CHAINED:
+            columns = {p.column for p in query.fact_filters}
+            if query.joins:
+                columns.add(query.joins[0].fact_key)
+            else:
+                columns.update(query.aggregate.fact_columns)
+            return sorted(columns)
+        columns = {p.column for p in query.fact_filters}
+        columns.update(join.fact_key for join in query.joins)
+        columns.update(query.aggregate.fact_columns)
+        return sorted(columns)
+
+    def _dimension_index(
+        self, join: DimensionJoin, traffic: QueryTraffic
+    ) -> JoinIndex:
+        dim = self.db.table(join.table)
+        attrs = _join_attrs(join)
+        if self.profile.index_kind is IndexKind.DASH:
+            key = (join.table, attrs)
+            if key not in self._index_cache:
+                built = operators.build_dimension_index(
+                    dim, join.dim_key, attrs, self.profile
+                )
+                self._index_cache[key] = built
+                self.build_traffic.add(built.build_traffic)
+            return self._index_cache[key]
+        # Chained (Hyrise): join hash tables are per-query operator state.
+        built = operators.build_dimension_index(dim, join.dim_key, (), self.profile)
+        traffic.add(built.build_traffic)
+        return built
+
+    def execute(self, query: QueryDef) -> QueryResult:
+        """Run ``query``; returns correct results plus traffic."""
+        fact = self.db.lineorder
+        traffic = QueryTraffic(query=query.name)
+        unaware = self.profile.index_kind is IndexKind.CHAINED
+
+        traffic.add(
+            operators.fact_scan_traffic(
+                fact, self._fact_columns_used(query), self.profile
+            )
+        )
+        candidate_mask = operators.filter_mask(fact, query.fact_filters)
+        candidates = np.nonzero(candidate_mask)[0]
+        if unaware and query.fact_filters:
+            traffic.add(operators.materialize_positions(len(candidates), "fact-filter"))
+
+        # Payload columns gathered along the join pipeline.
+        payload_values: dict[str, np.ndarray] = {}
+
+        for position, join in enumerate(query.joins):
+            dim = self.db.table(join.table)
+            attrs = _join_attrs(join)
+            join_index = self._dimension_index(join, traffic)
+
+            if unaware and position > 0:
+                # Operator-at-a-time: the next join's key column is
+                # re-fetched by row id from the materialised intermediate.
+                traffic.add(
+                    operators.fact_gather(
+                        len(candidates),
+                        float(fact[join.fact_key].nbytes),
+                        join.fact_key,
+                    )
+                )
+            fact_keys = fact[join.fact_key][candidates]
+            hit, attr_values, probe_records = operators.probe_dimension(
+                join_index, fact_keys, dim, attrs
+            )
+            for record in probe_records:
+                traffic.add(record)
+
+            keep_mask, filter_traffic = operators.apply_attr_filters(
+                attr_values, join.filters
+            )
+            if filter_traffic is not None:
+                traffic.add(filter_traffic)
+
+            candidates = candidates[hit][keep_mask]
+            for name in payload_values:
+                payload_values[name] = payload_values[name][hit][keep_mask]
+            for column in join.payload:
+                payload_values[column] = attr_values[column][keep_mask]
+            if unaware:
+                traffic.add(
+                    operators.materialize_positions(len(candidates), join.table)
+                )
+
+        group_columns = []
+        for column in query.group_by:
+            if column not in payload_values:
+                raise QueryError(
+                    f"{query.name}: group-by column {column!r} was not "
+                    "carried as a join payload"
+                )
+            group_columns.append(payload_values[column])
+
+        if unaware and query.joins:
+            # The measure columns are fetched by row id at the end.
+            for column in query.aggregate.fact_columns:
+                traffic.add(
+                    operators.fact_gather(
+                        len(candidates), float(fact[column].nbytes), column
+                    )
+                )
+        measure = query.aggregate.compute(fact.take(candidates))
+        intermediate_width = 8 + 4 * len(group_columns)
+        grouped, agg_traffic = operators.group_aggregate(
+            group_columns, measure, intermediate_width
+        )
+        traffic.add(agg_traffic)
+
+        return QueryResult(
+            query=query.name,
+            groups=grouped.as_dict(),
+            qualifying_rows=int(len(candidates)),
+            traffic=traffic,
+        )

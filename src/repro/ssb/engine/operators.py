@@ -1,0 +1,338 @@
+"""Relational operators over numpy columns, with traffic accounting.
+
+Each operator both *does the work* (produces correct numpy results) and
+*charges* an :class:`~repro.ssb.engine.traffic.OperatorTraffic` record
+describing the memory traffic the operation causes on the modeled
+server. CPU weights are relative per-tuple costs (a hash probe costs
+more cycles than a predicate compare); the absolute scale is a single
+calibrated constant in the cost model.
+
+Join strategy (following the paper's handcrafted implementation, which
+uses Dash as *the* index): every dimension carries one persistent hash
+index mapping its primary key to the row position, with up to two small
+dimension attributes packed into the 64-bit value so that selective
+predicates and group keys need no second lookup. A join is then a probe
+per candidate fact row followed by a predicate on the unpacked
+attributes. The PMEM-unaware profile (Hyrise) instead stores only the
+row position and must gather dimension attributes by position — extra
+random reads — and materialises a position list between operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.ssb.dbgen import Table
+from repro.ssb.engine.traffic import OperatorTraffic
+from repro.ssb.hashindex import ChainedIndex, DashIndex
+from repro.ssb.queries import Predicate
+from repro.ssb.storage import IndexKind, SystemProfile, TupleLayout
+
+#: Relative CPU cost weights per tuple, in units of the cost model's
+#: calibrated base (25 ns). Vectorised predicate compares are nearly
+#: free; hash probes pay hashing, a fingerprint scan, and (for chains)
+#: pointer chasing.
+CPU_COMPARE: float = 0.2
+CPU_HASH_BUILD: float = 12.0
+CPU_HASH_PROBE: float = 12.0
+CPU_CHAIN_PROBE: float = 6.0
+CPU_AGGREGATE: float = 2.0
+
+#: Packed-value layout: 24-bit row position + two 20-bit attributes.
+POSITION_BITS: int = 24
+ATTR_BITS: int = 20
+MAX_PACKED_ATTRS: int = 2
+
+
+def fact_scan_traffic(
+    fact: Table, columns_used: list[str], profile: SystemProfile
+) -> OperatorTraffic:
+    """Traffic of the full fact-table scan feeding the query pipeline."""
+    if profile.tuple_layout is TupleLayout.ROW128:
+        # §6.2: fields aligned to 128 B per tuple; the scan moves whole
+        # tuples regardless of which columns the query touches.
+        seq_bytes = fact.n_rows * 128
+    else:
+        seq_bytes = fact.column_bytes(columns_used)
+    return OperatorTraffic(
+        name="fact-scan",
+        seq_read_bytes=float(seq_bytes),
+        cpu_tuples=float(fact.n_rows),
+        cpu_weight=CPU_COMPARE,
+    )
+
+
+def filter_mask(table: Table, predicates: tuple[Predicate, ...]) -> np.ndarray:
+    """Conjunction of predicates as a boolean mask."""
+    if not predicates:
+        return np.ones(table.n_rows, dtype=bool)
+    mask = predicates[0].evaluate(table[predicates[0].column])
+    for predicate in predicates[1:]:
+        mask &= predicate.evaluate(table[predicate.column])
+    return mask
+
+
+def pack_values(positions: np.ndarray, attrs: list[np.ndarray]) -> np.ndarray:
+    """Pack a row position plus up to two small attributes into int64."""
+    if len(attrs) > MAX_PACKED_ATTRS:
+        raise QueryError(f"cannot pack {len(attrs)} attributes (max {MAX_PACKED_ATTRS})")
+    if positions.size and int(positions.max()) >= (1 << POSITION_BITS):
+        raise QueryError("row position exceeds the 24-bit packed range")
+    packed = positions.astype(np.int64)
+    shift = POSITION_BITS
+    for attr in attrs:
+        values = attr.astype(np.int64)
+        if values.size and (int(values.min()) < 0 or int(values.max()) >= (1 << ATTR_BITS)):
+            raise QueryError("attribute exceeds the 20-bit packed range")
+        packed |= values << shift
+        shift += ATTR_BITS
+    return packed
+
+
+def unpack_values(packed: np.ndarray, n_attrs: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Inverse of :func:`pack_values`."""
+    if n_attrs > MAX_PACKED_ATTRS:
+        raise QueryError(f"cannot unpack {n_attrs} attributes")
+    positions = packed & ((1 << POSITION_BITS) - 1)
+    attrs = []
+    shift = POSITION_BITS
+    for _ in range(n_attrs):
+        attrs.append((packed >> shift) & ((1 << ATTR_BITS) - 1))
+        shift += ATTR_BITS
+    return positions, attrs
+
+
+@dataclass
+class JoinIndex:
+    """A persistent dimension index plus its packing metadata."""
+
+    table: str
+    index: DashIndex | ChainedIndex
+    packed_attrs: tuple[str, ...]
+    build_traffic: OperatorTraffic
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.index.memory_bytes
+
+
+def build_dimension_index(
+    dim: Table,
+    key_column: str,
+    attrs: tuple[str, ...],
+    profile: SystemProfile,
+) -> JoinIndex:
+    """Build the per-dimension hash index over *all* rows.
+
+    DASH packs the given attributes into the value (probe-then-filter
+    needs no second access); CHAINED stores only the position, modeling
+    an index that must be followed by positional gathers.
+    """
+    keys = dim[key_column].astype(np.int64)
+    positions = np.arange(len(keys), dtype=np.int64)
+    if profile.index_kind is IndexKind.DASH:
+        values = pack_values(positions, [dim[a] for a in attrs])
+        index: DashIndex | ChainedIndex = DashIndex()
+        index.bulk_insert(keys, values, assume_unique=True)
+        write_bytes = float(index.stats.write_bytes)
+        read_bytes = float(index.stats.build_read_bytes)
+        access = index.stats.access_size
+        packed: tuple[str, ...] = attrs
+    elif profile.index_kind is IndexKind.CHAINED:
+        index = ChainedIndex(expected_size=max(len(keys), 1))
+        index.bulk_insert(keys, positions)
+        write_bytes = float(index.stats.write_bytes)
+        read_bytes = 0.0
+        access = index.stats.access_size
+        packed = ()
+    else:
+        raise QueryError(f"unknown index kind {profile.index_kind}")
+    traffic = OperatorTraffic(
+        name=f"build-index({dim.spec.name})",
+        random_reads=read_bytes / access,
+        random_read_size=access,
+        random_write_bytes=write_bytes,
+        cpu_tuples=float(len(keys)),
+        cpu_weight=CPU_HASH_BUILD,
+    )
+    traffic.random_region_bytes = float(index.memory_bytes)
+    traffic.region_table = dim.spec.name
+    return JoinIndex(
+        table=dim.spec.name, index=index, packed_attrs=packed, build_traffic=traffic
+    )
+
+
+def probe_dimension(
+    join_index: JoinIndex,
+    fact_keys: np.ndarray,
+    dim: Table,
+    needed_attrs: tuple[str, ...],
+) -> tuple[np.ndarray, dict[str, np.ndarray], list[OperatorTraffic]]:
+    """Probe the index and produce the needed dimension attributes.
+
+    Returns ``(hit_mask, {attr: values for hits}, traffic records)``.
+    With packed attributes (DASH) the probe alone suffices; otherwise the
+    attributes are gathered by row position — random reads into the
+    dimension's column storage.
+    """
+    index = join_index.index
+    before_probes = index.stats.probes
+    before_bytes = index.stats.read_bytes
+    raw = index.bulk_probe(fact_keys.astype(np.int64), missing=-1)
+    hit = raw >= 0
+    reads = (index.stats.read_bytes - before_bytes) / index.stats.access_size
+    probe_weight = (
+        CPU_HASH_PROBE if isinstance(index, DashIndex) else CPU_CHAIN_PROBE
+    )
+    records = [
+        OperatorTraffic(
+            name=f"probe({join_index.table})",
+            random_reads=float(reads),
+            random_read_size=index.stats.access_size,
+            cpu_tuples=float(index.stats.probes - before_probes),
+            cpu_weight=probe_weight,
+            random_region_bytes=float(join_index.memory_bytes),
+            region_table=join_index.table,
+        )
+    ]
+
+    attrs: dict[str, np.ndarray] = {}
+    hits = raw[hit]
+    if join_index.packed_attrs:
+        _, unpacked = unpack_values(hits, len(join_index.packed_attrs))
+        for name, values in zip(join_index.packed_attrs, unpacked):
+            attrs[name] = values
+        missing = [a for a in needed_attrs if a not in attrs]
+        if missing:
+            raise QueryError(
+                f"index on {join_index.table} lacks packed attrs {missing}"
+            )
+    elif needed_attrs:
+        positions = hits
+        for name in needed_attrs:
+            attrs[name] = dim[name][positions].astype(np.int64)
+        records.append(
+            OperatorTraffic(
+                name=f"gather({join_index.table})",
+                random_reads=float(len(positions) * len(needed_attrs)),
+                random_read_size=64,
+                cpu_tuples=float(len(positions)),
+                cpu_weight=CPU_COMPARE,
+                random_region_bytes=float(dim.column_bytes()),
+                region_table=join_index.table,
+            )
+        )
+    return hit, attrs, records
+
+
+def apply_attr_filters(
+    attrs: dict[str, np.ndarray], predicates: tuple[Predicate, ...]
+) -> tuple[np.ndarray, OperatorTraffic | None]:
+    """Apply the join's dimension predicates on the fetched attributes."""
+    if not predicates:
+        return (
+            np.ones(len(next(iter(attrs.values()))) if attrs else 0, dtype=bool),
+            None,
+        )
+    mask = predicates[0].evaluate(attrs[predicates[0].column])
+    for predicate in predicates[1:]:
+        mask &= predicate.evaluate(attrs[predicate.column])
+    traffic = OperatorTraffic(
+        name="dim-filter",
+        cpu_tuples=float(len(mask)) * len(predicates),
+        cpu_weight=CPU_COMPARE,
+    )
+    return mask, traffic
+
+
+def fact_gather(rows: int, column_bytes: float, label: str) -> OperatorTraffic:
+    """Positional gather of a fact column (PMEM-unaware engines only).
+
+    Operator-at-a-time engines re-fetch fact columns by row id after each
+    materialised intermediate, producing random 64 B reads into the huge
+    fact region — the paper's explanation for Hyrise's PMEM penalty.
+    """
+    return OperatorTraffic(
+        name=f"fact-gather({label})",
+        random_reads=float(rows),
+        random_read_size=64,
+        cpu_tuples=float(rows),
+        cpu_weight=CPU_COMPARE,
+        random_region_bytes=float(column_bytes),
+        region_table="lineorder",
+    )
+
+
+def materialize_positions(rows: int, label: str) -> OperatorTraffic:
+    """Charge a per-operator position-list materialisation (Hyrise-style).
+
+    PMEM-unaware engines write every operator's output row-id list to the
+    storage medium and re-read it in the next operator (§6.1: "all tables
+    and intermediates are stored either completely in PMEM or in DRAM").
+    """
+    bytes_ = float(rows * 8)
+    return OperatorTraffic(
+        name=f"materialize({label})",
+        seq_write_bytes=bytes_,
+        seq_read_bytes=bytes_,
+        cpu_tuples=float(rows),
+        cpu_weight=CPU_COMPARE,
+    )
+
+
+@dataclass
+class GroupedResult:
+    """Materialised group-by result: key tuples -> summed measure."""
+
+    keys: list[tuple[int, ...]]
+    sums: np.ndarray
+
+    def as_dict(self) -> dict[tuple[int, ...], int]:
+        return {k: int(v) for k, v in zip(self.keys, self.sums)}
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.keys)
+
+
+def group_aggregate(
+    group_columns: list[np.ndarray],
+    measure: np.ndarray,
+    intermediate_width: int,
+) -> tuple[GroupedResult, OperatorTraffic]:
+    """SUM ``measure`` grouped by the key columns.
+
+    Charges the materialisation the paper describes for QF2-4: the
+    (key, measure) intermediate is written out once and read back by the
+    aggregation.
+    """
+    n = len(measure)
+    if any(len(col) != n for col in group_columns):
+        raise QueryError("group columns must align with the measure")
+    if n == 0:
+        empty = GroupedResult(keys=[], sums=np.empty(0, dtype=np.int64))
+        return empty, OperatorTraffic(name="aggregate", cpu_tuples=0.0)
+    if group_columns:
+        stacked = np.stack([c.astype(np.int64) for c in group_columns], axis=1)
+        uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        sums = np.zeros(len(uniques), dtype=np.int64)
+        np.add.at(sums, inverse, measure.astype(np.int64))
+        result = GroupedResult(
+            keys=[tuple(int(x) for x in row) for row in uniques], sums=sums
+        )
+    else:
+        result = GroupedResult(
+            keys=[()], sums=np.asarray([measure.astype(np.int64).sum()])
+        )
+    intermediate_bytes = float(n * intermediate_width)
+    traffic = OperatorTraffic(
+        name="aggregate",
+        seq_read_bytes=intermediate_bytes,
+        seq_write_bytes=intermediate_bytes,
+        cpu_tuples=float(n),
+        cpu_weight=CPU_AGGREGATE,
+    )
+    return result, traffic

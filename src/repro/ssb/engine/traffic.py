@@ -1,0 +1,131 @@
+"""Operator-level memory-traffic accounting.
+
+The executor runs each query for real (on numpy columns) and records,
+per operator, the memory traffic that execution would cause on the
+modeled server: sequential scan bytes, random index probes (count and
+granularity), intermediate writes, and per-tuple CPU work. The cost
+model then prices this traffic with :mod:`repro.memsim` for a given
+system profile — which is how one execution yields PMEM, DRAM, and SSD
+runtimes at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+
+
+@dataclass
+class OperatorTraffic:
+    """Traffic of one operator instance (one scan, one join, ...)."""
+
+    name: str
+    #: Sequentially scanned bytes (table columns / row chunks).
+    seq_read_bytes: float = 0.0
+    #: Number of random reads (hash probes, chain hops, ...).
+    random_reads: float = 0.0
+    #: Granularity of those random reads, bytes.
+    random_read_size: int = 64
+    #: Sequentially written bytes (materialised intermediates).
+    seq_write_bytes: float = 0.0
+    #: Randomly written bytes (hash-table build traffic).
+    random_write_bytes: float = 0.0
+    #: Tuples processed (drives the CPU-time term).
+    cpu_tuples: float = 0.0
+    #: Relative CPU weight per tuple (hashing is pricier than comparing).
+    cpu_weight: float = 1.0
+    #: Size of the region the random reads land in (e.g. the hash-table
+    #: footprint) — DRAM random bandwidth and LLC residency depend on it.
+    random_region_bytes: float = 0.0
+    #: Table backing the random-read region, for scale extrapolation
+    #: (dimension tables do not all grow linearly with the scale factor).
+    region_table: str | None = None
+
+    @property
+    def random_read_bytes(self) -> float:
+        return self.random_reads * self.random_read_size
+
+    def scaled(
+        self, factor: float, region_factors: dict[str, float] | None = None
+    ) -> "OperatorTraffic":
+        """Linearly scaled copy (extrapolating to a larger scale factor).
+
+        ``region_factors`` maps table names to the growth of *their*
+        cardinality between the measured and target scale factors — the
+        part table grows logarithmically and the date table not at all,
+        so their index regions must not be scaled by the fact ratio.
+        """
+        if factor <= 0:
+            raise QueryError("scale factor ratio must be positive")
+        region_factor = factor
+        if region_factors is not None and self.region_table is not None:
+            region_factor = region_factors.get(self.region_table, factor)
+        return OperatorTraffic(
+            name=self.name,
+            seq_read_bytes=self.seq_read_bytes * factor,
+            random_reads=self.random_reads * factor,
+            random_read_size=self.random_read_size,
+            seq_write_bytes=self.seq_write_bytes * factor,
+            random_write_bytes=self.random_write_bytes * factor,
+            cpu_tuples=self.cpu_tuples * factor,
+            cpu_weight=self.cpu_weight,
+            random_region_bytes=self.random_region_bytes * region_factor,
+            region_table=self.region_table,
+        )
+
+
+@dataclass
+class QueryTraffic:
+    """All operator traffic of one query execution."""
+
+    query: str
+    operators: list[OperatorTraffic] = field(default_factory=list)
+
+    def add(self, operator: OperatorTraffic) -> None:
+        self.operators.append(operator)
+
+    @property
+    def seq_read_bytes(self) -> float:
+        return sum(op.seq_read_bytes for op in self.operators)
+
+    @property
+    def random_reads(self) -> float:
+        return sum(op.random_reads for op in self.operators)
+
+    @property
+    def random_read_bytes(self) -> float:
+        return sum(op.random_read_bytes for op in self.operators)
+
+    @property
+    def write_bytes(self) -> float:
+        return sum(op.seq_write_bytes + op.random_write_bytes for op in self.operators)
+
+    @property
+    def cpu_tuples(self) -> float:
+        return sum(op.cpu_tuples * op.cpu_weight for op in self.operators)
+
+    @property
+    def total_bytes(self) -> float:
+        return self.seq_read_bytes + self.random_read_bytes + self.write_bytes
+
+    def scaled(
+        self, factor: float, region_factors: dict[str, float] | None = None
+    ) -> "QueryTraffic":
+        """Extrapolate every operator linearly (selectivities are scale-
+        invariant in SSB, so traffic grows linearly with the fact table);
+        random-read regions grow with their own table's cardinality."""
+        scaled = QueryTraffic(query=self.query)
+        scaled.operators = [op.scaled(factor, region_factors) for op in self.operators]
+        return scaled
+
+    def describe(self) -> str:
+        lines = [f"traffic of {self.query}:"]
+        for op in self.operators:
+            lines.append(
+                f"  {op.name:<24} seq_read={op.seq_read_bytes / 1e6:9.1f}MB "
+                f"rand={op.random_reads / 1e3:8.1f}k x {op.random_read_size}B "
+                f"write={(op.seq_write_bytes + op.random_write_bytes) / 1e6:7.1f}MB "
+                f"cpu={op.cpu_tuples / 1e3:9.1f}k tuples"
+            )
+        return "\n".join(lines)

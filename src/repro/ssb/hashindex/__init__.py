@@ -1,0 +1,12 @@
+"""Hash indexes: the PMEM-optimized Dash and the PMEM-unaware baseline."""
+
+from repro.ssb.hashindex.chained import ChainedIndex, ChainStats
+from repro.ssb.hashindex.dash import BUCKET_SLOTS, DashIndex, ProbeStats
+
+__all__ = [
+    "BUCKET_SLOTS",
+    "ChainStats",
+    "ChainedIndex",
+    "DashIndex",
+    "ProbeStats",
+]

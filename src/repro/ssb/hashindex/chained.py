@@ -1,0 +1,193 @@
+"""PMEM-unaware chained hash index (the Hyrise stand-in baseline).
+
+A textbook separate-chaining hash table: an array of bucket heads and a
+node pool, every node one 64 B cache line holding (key, value, next).
+Probes walk a pointer chain of *dependent* 64 B random reads — exactly
+the access pattern the paper identifies as the reason Hyrise loses 5.3x
+on PMEM ("hash-operations take over 90% of the execution time ...
+Hyrise's PMEM-unaware hash index implementation performs worse in PMEM
+than in DRAM", §6.1).
+
+Like :class:`~repro.ssb.hashindex.dash.DashIndex`, every operation is
+instrumented with the traffic it would cause; the cost model prices the
+two indexes with the same memsim random-access curves, so the Dash
+advantage on PMEM *emerges* from access sizes and dependent-read counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memsim.constants import CACHE_LINE
+
+_EMPTY: int = -1
+
+
+@dataclass
+class ChainStats:
+    """Accumulated traffic caused by chained-hash operations."""
+
+    probes: int = 0
+    node_reads: int = 0
+    node_writes: int = 0
+
+    @property
+    def read_bytes(self) -> int:
+        return self.node_reads * CACHE_LINE
+
+    @property
+    def write_bytes(self) -> int:
+        return self.node_writes * CACHE_LINE
+
+    @property
+    def reads_per_probe(self) -> float:
+        if self.probes == 0:
+            return 0.0
+        return self.node_reads / self.probes
+
+    @property
+    def access_size(self) -> int:
+        """Granularity of one index access — a 64 B node."""
+        return CACHE_LINE
+
+
+class ChainedIndex:
+    """Separate-chaining hash table over a contiguous node pool."""
+
+    def __init__(self, expected_size: int = 16) -> None:
+        if expected_size < 1:
+            raise ConfigurationError("expected size must be >= 1")
+        self._n_buckets = max(8, 1 << (expected_size - 1).bit_length())
+        self._heads = np.full(self._n_buckets, _EMPTY, dtype=np.int64)
+        capacity = max(expected_size, 8)
+        self._keys = np.empty(capacity, dtype=np.int64)
+        self._values = np.empty(capacity, dtype=np.int64)
+        self._next = np.empty(capacity, dtype=np.int64)
+        self._size = 0
+        self.stats = ChainStats()
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def bucket_count(self) -> int:
+        return self._n_buckets
+
+    @property
+    def memory_bytes(self) -> int:
+        """Footprint: head array plus one 64 B line per node."""
+        return self._n_buckets * 8 + self._size * CACHE_LINE
+
+    def _bucket_of(self, keys: np.ndarray) -> np.ndarray:
+        h = keys.astype(np.uint64, copy=True)
+        h = (h * np.uint64(0x9E3779B97F4A7C15)) & np.uint64(0xFFFFFFFFFFFFFFFF)
+        h ^= h >> np.uint64(29)
+        return (h % np.uint64(self._n_buckets)).astype(np.int64)
+
+    def _grow_pool(self, needed: int) -> None:
+        capacity = len(self._keys)
+        if self._size + needed <= capacity:
+            return
+        new_capacity = max(capacity * 2, self._size + needed)
+        for name in ("_keys", "_values", "_next"):
+            old = getattr(self, name)
+            grown = np.empty(new_capacity, dtype=old.dtype)
+            grown[: self._size] = old[: self._size]
+            setattr(self, name, grown)
+
+    # -- operations ------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Prepend a node to the key's chain (no dedup, like a join build)."""
+        self._grow_pool(1)
+        bucket = int(self._bucket_of(np.asarray([key], dtype=np.int64))[0])
+        idx = self._size
+        self._keys[idx] = key
+        self._values[idx] = value
+        self._next[idx] = self._heads[bucket]
+        self._heads[bucket] = idx
+        self._size += 1
+        self.stats.node_writes += 1
+
+    def bulk_insert(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Vectorised chain prepend of many records."""
+        if len(keys) != len(values):
+            raise ConfigurationError("keys and values must align")
+        n = len(keys)
+        if n == 0:
+            return
+        self._grow_pool(n)
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        buckets = self._bucket_of(keys)
+        start = self._size
+        idx = np.arange(start, start + n, dtype=np.int64)
+        self._keys[start : start + n] = keys
+        self._values[start : start + n] = values
+        # Prepend preserving per-bucket order: later records become heads.
+        order = np.argsort(buckets, kind="stable")
+        sorted_buckets = buckets[order]
+        sorted_idx = idx[order]
+        boundaries = np.nonzero(np.diff(sorted_buckets))[0]
+        group_starts = np.concatenate(([0], boundaries + 1))
+        group_ends = np.concatenate((boundaries, [n - 1]))
+        for gs, ge in zip(group_starts, group_ends):
+            bucket = int(sorted_buckets[gs])
+            chain = sorted_idx[gs : ge + 1]
+            prev = self._heads[bucket]
+            for node in chain:
+                self._next[node] = prev
+                prev = node
+            self._heads[bucket] = prev
+        self._size += n
+        self.stats.node_writes += n
+
+    def get(self, key: int, default: int | None = None) -> int:
+        """Walk the chain; each hop is one dependent 64 B read."""
+        self.stats.probes += 1
+        bucket = int(self._bucket_of(np.asarray([key], dtype=np.int64))[0])
+        node = int(self._heads[bucket])
+        while node != _EMPTY:
+            self.stats.node_reads += 1
+            if self._keys[node] == key:
+                return int(self._values[node])
+            node = int(self._next[node])
+        if default is not None:
+            return default
+        raise KeyError(key)
+
+    def __contains__(self, key: int) -> bool:
+        return self.get(key, default=_EMPTY - 1) != _EMPTY - 1
+
+    def bulk_probe(self, keys: np.ndarray, missing: int = -1) -> np.ndarray:
+        """Vectorised chain walking: one round per chain hop."""
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        n = len(keys)
+        out = np.full(n, missing, dtype=np.int64)
+        if n == 0:
+            return out
+        self.stats.probes += n
+        node = self._heads[self._bucket_of(keys)]
+        active = node != _EMPTY
+        while np.any(active):
+            idx = np.nonzero(active)[0]
+            current = node[idx]
+            self.stats.node_reads += int(idx.size)
+            hit = self._keys[current] == keys[idx]
+            if np.any(hit):
+                out[idx[hit]] = self._values[current[hit]]
+            advance = ~hit
+            node[idx[hit]] = _EMPTY
+            node[idx[advance]] = self._next[current[advance]]
+            active = node != _EMPTY
+        return out
+
+    @property
+    def average_chain_length(self) -> float:
+        """Mean nodes per non-empty bucket (diagnostics for tests)."""
+        occupied = int(np.count_nonzero(self._heads != _EMPTY))
+        if occupied == 0:
+            return 0.0
+        return self._size / occupied

@@ -1,0 +1,584 @@
+"""The thirteen SSB queries (O'Neil et al.), as declarative plans.
+
+Queries are grouped into four flights. Flight 1 filters the fact table
+directly (discount/quantity bands) and restricts by date; flights 2-4
+join the fact table with two or three dimensions and group-aggregate.
+String constants from the SQL text are translated to the dictionary
+codes of :mod:`repro.ssb.schema`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.ssb import schema
+
+
+class PredicateOp(enum.Enum):
+    EQ = "eq"
+    BETWEEN = "between"
+    IN = "in"
+    LT = "lt"
+    LE = "le"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One column predicate with dictionary-coded operands."""
+
+    column: str
+    op: PredicateOp
+    value: object
+
+    def evaluate(self, column_values):
+        """Boolean mask over a numpy column."""
+        import numpy as np
+
+        if self.op is PredicateOp.EQ:
+            return column_values == self.value
+        if self.op is PredicateOp.BETWEEN:
+            lo, hi = self.value  # type: ignore[misc]
+            return (column_values >= lo) & (column_values <= hi)
+        if self.op is PredicateOp.IN:
+            return np.isin(column_values, list(self.value))  # type: ignore[arg-type]
+        if self.op is PredicateOp.LT:
+            return column_values < self.value
+        if self.op is PredicateOp.LE:
+            return column_values <= self.value
+        raise QueryError(f"unsupported predicate op: {self.op}")
+
+
+@dataclass(frozen=True)
+class DimensionJoin:
+    """Join of the fact table with one (filtered) dimension."""
+
+    table: str
+    fact_key: str
+    dim_key: str
+    filters: tuple[Predicate, ...] = ()
+    #: Dimension columns carried into grouping.
+    payload: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """The aggregate expression of a query (always a SUM in SSB)."""
+
+    expression: str  # "extendedprice*discount" | "revenue" | "revenue-supplycost"
+
+    def compute(self, fact):
+        """Evaluate over a (filtered) lineorder table; returns int64 array."""
+        import numpy as np
+
+        if self.expression == "extendedprice*discount":
+            return fact["lo_extendedprice"].astype(np.int64) * fact[
+                "lo_discount"
+            ].astype(np.int64)
+        if self.expression == "revenue":
+            return fact["lo_revenue"].astype(np.int64)
+        if self.expression == "revenue-supplycost":
+            return fact["lo_revenue"].astype(np.int64) - fact["lo_supplycost"].astype(
+                np.int64
+            )
+        raise QueryError(f"unsupported aggregate: {self.expression}")
+
+    @property
+    def fact_columns(self) -> tuple[str, ...]:
+        if self.expression == "extendedprice*discount":
+            return ("lo_extendedprice", "lo_discount")
+        if self.expression == "revenue":
+            return ("lo_revenue",)
+        if self.expression == "revenue-supplycost":
+            return ("lo_revenue", "lo_supplycost")
+        raise QueryError(f"unsupported aggregate: {self.expression}")
+
+
+@dataclass(frozen=True)
+class QueryDef:
+    """One SSB query: fact filters, ordered joins, grouping, aggregate."""
+
+    name: str
+    flight: int
+    aggregate: Aggregate
+    fact_filters: tuple[Predicate, ...] = ()
+    joins: tuple[DimensionJoin, ...] = ()
+    group_by: tuple[str, ...] = ()
+    description: str = ""
+    #: The query's original SQL (O'Neil et al.), kept as reference so the
+    #: declarative plan can be audited against the benchmark definition.
+    sql: str = ""
+
+    def join_for(self, table: str) -> DimensionJoin:
+        for join in self.joins:
+            if join.table == table:
+                return join
+        raise QueryError(f"{self.name} does not join {table!r}")
+
+
+# ---------------------------------------------------------------------------
+# constant translation helpers
+# ---------------------------------------------------------------------------
+
+def region(name: str) -> int:
+    try:
+        return schema.REGIONS.index(name)
+    except ValueError:
+        raise QueryError(f"unknown region {name!r}") from None
+
+
+def nation(name: str) -> int:
+    try:
+        return schema.NATIONS.index(name)
+    except ValueError:
+        raise QueryError(f"unknown nation {name!r}") from None
+
+
+def city(label: str) -> int:
+    """'UNITED KI1' -> city code (nation prefix + trailing digit)."""
+    prefix, digit = label[:-1].rstrip(), label[-1]
+    if not digit.isdigit():
+        raise QueryError(f"city label {label!r} must end in a digit")
+    for code, name in enumerate(schema.NATIONS):
+        if name[:9].rstrip() == prefix:
+            return schema.city_code(code, int(digit))
+    raise QueryError(f"no nation matches city prefix {prefix!r}")
+
+
+def brand(label: str) -> int:
+    """'MFGR#2239' -> brand1 code."""
+    if not label.startswith("MFGR#") or len(label) < 8:
+        raise QueryError(f"malformed brand label {label!r}")
+    digits = label[5:]
+    mfgr, category, brand_num = int(digits[0]), int(digits[1]), int(digits[2:])
+    return schema.brand_code(mfgr, category, brand_num)
+
+
+def category(label: str) -> int:
+    """'MFGR#12' -> category code."""
+    if not label.startswith("MFGR#") or len(label) != 7:
+        raise QueryError(f"malformed category label {label!r}")
+    mfgr, cat = int(label[5]), int(label[6])
+    if not (1 <= mfgr <= schema.MFGR_COUNT and 1 <= cat <= schema.CATEGORIES_PER_MFGR):
+        raise QueryError(f"category label {label!r} out of range")
+    return (mfgr - 1) * schema.CATEGORIES_PER_MFGR + (cat - 1)
+
+
+def mfgr(label: str) -> int:
+    """'MFGR#2' -> manufacturer number (1-based, as stored)."""
+    if not label.startswith("MFGR#") or len(label) != 6:
+        raise QueryError(f"malformed mfgr label {label!r}")
+    return int(label[5])
+
+
+# ---------------------------------------------------------------------------
+# the thirteen queries
+# ---------------------------------------------------------------------------
+
+def _date_join(*filters: Predicate, payload: tuple[str, ...] = ()) -> DimensionJoin:
+    return DimensionJoin(
+        table="date",
+        fact_key="lo_orderdate",
+        dim_key="d_datekey",
+        filters=tuple(filters),
+        payload=payload,
+    )
+
+
+_Q1_AGG = Aggregate("extendedprice*discount")
+_REV = Aggregate("revenue")
+_PROFIT = Aggregate("revenue-supplycost")
+
+ALL_QUERIES: tuple[QueryDef, ...] = (
+    QueryDef(
+        name="Q1.1", flight=1, aggregate=_Q1_AGG,
+        fact_filters=(
+            Predicate("lo_discount", PredicateOp.BETWEEN, (1, 3)),
+            Predicate("lo_quantity", PredicateOp.LT, 25),
+        ),
+        joins=(_date_join(Predicate("d_year", PredicateOp.EQ, 1993)),),
+        description="revenue delta of 1993 discount band",
+        sql="""\
+select sum(lo_extendedprice*lo_discount) as revenue
+from lineorder, date
+where lo_orderdate = d_datekey and d_year = 1993
+  and lo_discount between 1 and 3 and lo_quantity < 25;""",
+    ),
+    QueryDef(
+        name="Q1.2", flight=1, aggregate=_Q1_AGG,
+        fact_filters=(
+            Predicate("lo_discount", PredicateOp.BETWEEN, (4, 6)),
+            Predicate("lo_quantity", PredicateOp.BETWEEN, (26, 35)),
+        ),
+        joins=(_date_join(Predicate("d_yearmonthnum", PredicateOp.EQ, 199401)),),
+        description="revenue delta of January 1994",
+        sql="""\
+select sum(lo_extendedprice*lo_discount) as revenue
+from lineorder, date
+where lo_orderdate = d_datekey and d_yearmonthnum = 199401
+  and lo_discount between 4 and 6 and lo_quantity between 26 and 35;""",
+    ),
+    QueryDef(
+        name="Q1.3", flight=1, aggregate=_Q1_AGG,
+        fact_filters=(
+            Predicate("lo_discount", PredicateOp.BETWEEN, (5, 7)),
+            Predicate("lo_quantity", PredicateOp.BETWEEN, (26, 35)),
+        ),
+        joins=(
+            _date_join(
+                Predicate("d_weeknuminyear", PredicateOp.EQ, 6),
+                Predicate("d_year", PredicateOp.EQ, 1994),
+            ),
+        ),
+        description="revenue delta of week 6 of 1994",
+        sql="""\
+select sum(lo_extendedprice*lo_discount) as revenue
+from lineorder, date
+where lo_orderdate = d_datekey and d_weeknuminyear = 6 and d_year = 1994
+  and lo_discount between 5 and 7 and lo_quantity between 26 and 35;""",
+    ),
+    QueryDef(
+        name="Q2.1", flight=2, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "part", "lo_partkey", "p_partkey",
+                filters=(Predicate("p_category", PredicateOp.EQ, category("MFGR#12")),),
+                payload=("p_brand1",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(Predicate("s_region", PredicateOp.EQ, region("AMERICA")),),
+            ),
+            _date_join(payload=("d_year",)),
+        ),
+        group_by=("d_year", "p_brand1"),
+        description="revenue by year and brand for category MFGR#12 / AMERICA",
+        sql="""\
+select sum(lo_revenue), d_year, p_brand1
+from lineorder, date, part, supplier
+where lo_orderdate = d_datekey and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey and p_category = 'MFGR#12'
+  and s_region = 'AMERICA'
+group by d_year, p_brand1 order by d_year, p_brand1;""",
+    ),
+    QueryDef(
+        name="Q2.2", flight=2, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "part", "lo_partkey", "p_partkey",
+                filters=(
+                    Predicate(
+                        "p_brand1", PredicateOp.BETWEEN,
+                        (brand("MFGR#2221"), brand("MFGR#2228")),
+                    ),
+                ),
+                payload=("p_brand1",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(Predicate("s_region", PredicateOp.EQ, region("ASIA")),),
+            ),
+            _date_join(payload=("d_year",)),
+        ),
+        group_by=("d_year", "p_brand1"),
+        description="revenue for brand band MFGR#2221-2228 / ASIA",
+        sql="""\
+select sum(lo_revenue), d_year, p_brand1
+from lineorder, date, part, supplier
+where lo_orderdate = d_datekey and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey
+  and p_brand1 between 'MFGR#2221' and 'MFGR#2228'
+  and s_region = 'ASIA'
+group by d_year, p_brand1 order by d_year, p_brand1;""",
+    ),
+    QueryDef(
+        name="Q2.3", flight=2, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "part", "lo_partkey", "p_partkey",
+                filters=(Predicate("p_brand1", PredicateOp.EQ, brand("MFGR#2239")),),
+                payload=("p_brand1",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(Predicate("s_region", PredicateOp.EQ, region("EUROPE")),),
+            ),
+            _date_join(payload=("d_year",)),
+        ),
+        group_by=("d_year", "p_brand1"),
+        description="revenue for brand MFGR#2239 / EUROPE",
+        sql="""\
+select sum(lo_revenue), d_year, p_brand1
+from lineorder, date, part, supplier
+where lo_orderdate = d_datekey and lo_partkey = p_partkey
+  and lo_suppkey = s_suppkey and p_brand1 = 'MFGR#2239'
+  and s_region = 'EUROPE'
+group by d_year, p_brand1 order by d_year, p_brand1;""",
+    ),
+    QueryDef(
+        name="Q3.1", flight=3, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(Predicate("c_region", PredicateOp.EQ, region("ASIA")),),
+                payload=("c_nation",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(Predicate("s_region", PredicateOp.EQ, region("ASIA")),),
+                payload=("s_nation",),
+            ),
+            _date_join(
+                Predicate("d_year", PredicateOp.BETWEEN, (1992, 1997)),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("c_nation", "s_nation", "d_year"),
+        description="intra-ASIA revenue by nation pair and year",
+        sql="""\
+select c_nation, s_nation, d_year, sum(lo_revenue) as revenue
+from customer, lineorder, supplier, date
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey and c_region = 'ASIA'
+  and s_region = 'ASIA' and d_year >= 1992 and d_year <= 1997
+group by c_nation, s_nation, d_year
+order by d_year asc, revenue desc;""",
+    ),
+    QueryDef(
+        name="Q3.2", flight=3, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(
+                    Predicate("c_nation", PredicateOp.EQ, nation("UNITED STATES")),
+                ),
+                payload=("c_city",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(
+                    Predicate("s_nation", PredicateOp.EQ, nation("UNITED STATES")),
+                ),
+                payload=("s_city",),
+            ),
+            _date_join(
+                Predicate("d_year", PredicateOp.BETWEEN, (1992, 1997)),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("c_city", "s_city", "d_year"),
+        description="US revenue by city pair and year",
+        sql="""\
+select c_city, s_city, d_year, sum(lo_revenue) as revenue
+from customer, lineorder, supplier, date
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey and c_nation = 'UNITED STATES'
+  and s_nation = 'UNITED STATES' and d_year >= 1992 and d_year <= 1997
+group by c_city, s_city, d_year
+order by d_year asc, revenue desc;""",
+    ),
+    QueryDef(
+        name="Q3.3", flight=3, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(
+                    Predicate(
+                        "c_city", PredicateOp.IN,
+                        (city("UNITED KI1"), city("UNITED KI5")),
+                    ),
+                ),
+                payload=("c_city",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(
+                    Predicate(
+                        "s_city", PredicateOp.IN,
+                        (city("UNITED KI1"), city("UNITED KI5")),
+                    ),
+                ),
+                payload=("s_city",),
+            ),
+            _date_join(
+                Predicate("d_year", PredicateOp.BETWEEN, (1992, 1997)),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("c_city", "s_city", "d_year"),
+        description="two-city revenue by city pair and year",
+        sql="""\
+select c_city, s_city, d_year, sum(lo_revenue) as revenue
+from customer, lineorder, supplier, date
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey
+  and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5')
+  and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5')
+  and d_year >= 1992 and d_year <= 1997
+group by c_city, s_city, d_year
+order by d_year asc, revenue desc;""",
+    ),
+    QueryDef(
+        name="Q3.4", flight=3, aggregate=_REV,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(
+                    Predicate(
+                        "c_city", PredicateOp.IN,
+                        (city("UNITED KI1"), city("UNITED KI5")),
+                    ),
+                ),
+                payload=("c_city",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(
+                    Predicate(
+                        "s_city", PredicateOp.IN,
+                        (city("UNITED KI1"), city("UNITED KI5")),
+                    ),
+                ),
+                payload=("s_city",),
+            ),
+            _date_join(
+                Predicate("d_yearmonthnum", PredicateOp.EQ, 199712),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("c_city", "s_city", "d_year"),
+        description="two-city revenue in December 1997",
+        sql="""\
+select c_city, s_city, d_year, sum(lo_revenue) as revenue
+from customer, lineorder, supplier, date
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_orderdate = d_datekey
+  and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5')
+  and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5')
+  and d_yearmonth = 'Dec1997'
+group by c_city, s_city, d_year
+order by d_year asc, revenue desc;""",
+    ),
+    QueryDef(
+        name="Q4.1", flight=4, aggregate=_PROFIT,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(Predicate("c_region", PredicateOp.EQ, region("AMERICA")),),
+                payload=("c_nation",),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(Predicate("s_region", PredicateOp.EQ, region("AMERICA")),),
+            ),
+            DimensionJoin(
+                "part", "lo_partkey", "p_partkey",
+                filters=(
+                    Predicate("p_mfgr", PredicateOp.IN, (mfgr("MFGR#1"), mfgr("MFGR#2"))),
+                ),
+            ),
+            _date_join(payload=("d_year",)),
+        ),
+        group_by=("d_year", "c_nation"),
+        description="profit in AMERICA for MFGR#1/2 by year and nation",
+        sql="""\
+select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit
+from date, customer, supplier, part, lineorder
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey and lo_orderdate = d_datekey
+  and c_region = 'AMERICA' and s_region = 'AMERICA'
+  and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2')
+group by d_year, c_nation order by d_year, c_nation;""",
+    ),
+    QueryDef(
+        name="Q4.2", flight=4, aggregate=_PROFIT,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(Predicate("c_region", PredicateOp.EQ, region("AMERICA")),),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(Predicate("s_region", PredicateOp.EQ, region("AMERICA")),),
+                payload=("s_nation",),
+            ),
+            DimensionJoin(
+                "part", "lo_partkey", "p_partkey",
+                filters=(
+                    Predicate("p_mfgr", PredicateOp.IN, (mfgr("MFGR#1"), mfgr("MFGR#2"))),
+                ),
+                payload=("p_category",),
+            ),
+            _date_join(
+                Predicate("d_year", PredicateOp.IN, (1997, 1998)),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("d_year", "s_nation", "p_category"),
+        description="profit drill-down into 1997-1998 by supplier nation",
+        sql="""\
+select d_year, s_nation, p_category,
+       sum(lo_revenue - lo_supplycost) as profit
+from date, customer, supplier, part, lineorder
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey and lo_orderdate = d_datekey
+  and c_region = 'AMERICA' and s_region = 'AMERICA'
+  and (d_year = 1997 or d_year = 1998)
+  and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2')
+group by d_year, s_nation, p_category
+order by d_year, s_nation, p_category;""",
+    ),
+    QueryDef(
+        name="Q4.3", flight=4, aggregate=_PROFIT,
+        joins=(
+            DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                filters=(Predicate("c_region", PredicateOp.EQ, region("AMERICA")),),
+            ),
+            DimensionJoin(
+                "supplier", "lo_suppkey", "s_suppkey",
+                filters=(
+                    Predicate("s_nation", PredicateOp.EQ, nation("UNITED STATES")),
+                ),
+                payload=("s_city",),
+            ),
+            DimensionJoin(
+                "part", "lo_partkey", "p_partkey",
+                filters=(
+                    Predicate("p_category", PredicateOp.EQ, category("MFGR#14")),
+                ),
+                payload=("p_brand1",),
+            ),
+            _date_join(
+                Predicate("d_year", PredicateOp.IN, (1997, 1998)),
+                payload=("d_year",),
+            ),
+        ),
+        group_by=("d_year", "s_city", "p_brand1"),
+        description="profit drill-down to US cities and brands",
+        sql="""\
+select d_year, s_city, p_brand1,
+       sum(lo_revenue - lo_supplycost) as profit
+from date, customer, supplier, part, lineorder
+where lo_custkey = c_custkey and lo_suppkey = s_suppkey
+  and lo_partkey = p_partkey and lo_orderdate = d_datekey
+  and c_region = 'AMERICA' and s_nation = 'UNITED STATES'
+  and (d_year = 1997 or d_year = 1998) and p_category = 'MFGR#14'
+group by d_year, s_city, p_brand1
+order by d_year, s_city, p_brand1;""",
+    ),
+)
+
+
+def get_query(name: str) -> QueryDef:
+    for query in ALL_QUERIES:
+        if query.name == name:
+            return query
+    raise QueryError(f"unknown SSB query {name!r}; valid: Q1.1 .. Q4.3")
+
+
+def flight(number: int) -> tuple[QueryDef, ...]:
+    if number not in (1, 2, 3, 4):
+        raise QueryError(f"SSB has query flights 1-4, not {number}")
+    return tuple(q for q in ALL_QUERIES if q.flight == number)

@@ -1,0 +1,246 @@
+"""Star Schema Benchmark table schemas (O'Neil et al., TPCTC 2009).
+
+One fact table (``lineorder``) and four dimension tables (``date``,
+``customer``, ``supplier``, ``part``). String-valued attributes with
+small vocabularies (region, nation, city, brand, ...) are dictionary-
+encoded as integer codes — both because the engine is columnar/numpy and
+because that is what real column stores (including Hyrise) do.
+
+Cardinalities follow the SSB specification:
+
+* lineorder: ``sf * 6,000,000`` rows;
+* customer: ``sf * 30,000``; supplier: ``sf * 2,000``;
+* part: ``200,000 * (1 + floor(log2(sf)))`` for sf >= 1, scaled down
+  proportionally below sf 1;
+* date: 2,556 rows (7 years, 1992-01-01 .. 1998-12-31).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+#: Dictionary vocabularies shared by the generator and the queries.
+REGIONS: tuple[str, ...] = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+#: 25 nations, 5 per region (SSB inherits TPC-H's nation list).
+NATIONS: tuple[str, ...] = (
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE",          # AFRICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES",          # AMERICA
+    "CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM",                 # ASIA
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM",        # EUROPE
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA",                 # MIDDLE EAST
+)
+
+#: Cities: ten per nation, "<nation prefix><digit>" per the SSB spec.
+CITIES_PER_NATION: int = 10
+
+#: Manufacturers MFGR#1 .. MFGR#5.
+MFGR_COUNT: int = 5
+#: Categories MFGR#11 .. MFGR#55 (5 per manufacturer).
+CATEGORIES_PER_MFGR: int = 5
+#: Brands: 40 per category, MFGR#<cat><1..40>.
+BRANDS_PER_CATEGORY: int = 40
+
+DATE_ROWS: int = 2556
+FIRST_YEAR: int = 1992
+LAST_YEAR: int = 1998
+
+
+def nation_of_region(region_code: int) -> list[int]:
+    """Nation codes belonging to a region code."""
+    if not 0 <= region_code < len(REGIONS):
+        raise SchemaError(f"invalid region code {region_code}")
+    return list(range(region_code * 5, region_code * 5 + 5))
+
+
+def region_of_nation(nation_code: int) -> int:
+    if not 0 <= nation_code < len(NATIONS):
+        raise SchemaError(f"invalid nation code {nation_code}")
+    return nation_code // 5
+
+
+def city_code(nation_code: int, city_index: int) -> int:
+    """City codes are dense: nation * 10 + index."""
+    if not 0 <= city_index < CITIES_PER_NATION:
+        raise SchemaError(f"invalid city index {city_index}")
+    return nation_code * CITIES_PER_NATION + city_index
+
+
+def city_name(code: int) -> str:
+    """Human-readable city label, e.g. 'UNITED KI5'."""
+    nation = NATIONS[code // CITIES_PER_NATION]
+    return f"{nation[:9]:9s}{code % CITIES_PER_NATION}".replace(" ", " ")
+
+
+def brand_code(mfgr: int, category: int, brand: int) -> int:
+    """Dense brand1 code from 1-based mfgr/category/brand indices."""
+    if not (1 <= mfgr <= MFGR_COUNT and 1 <= category <= CATEGORIES_PER_MFGR
+            and 1 <= brand <= BRANDS_PER_CATEGORY):
+        raise SchemaError(f"invalid brand triple ({mfgr},{category},{brand})")
+    category_code = (mfgr - 1) * CATEGORIES_PER_MFGR + (category - 1)
+    return category_code * BRANDS_PER_CATEGORY + (brand - 1)
+
+
+def brand_name(code: int) -> str:
+    """Render a brand code as the spec's 'MFGR#<cat><brand>' label."""
+    category_code, brand = divmod(code, BRANDS_PER_CATEGORY)
+    mfgr, category = divmod(category_code, CATEGORIES_PER_MFGR)
+    return f"MFGR#{mfgr + 1}{category + 1}{brand + 1}"
+
+
+def category_name(code: int) -> str:
+    mfgr, category = divmod(code, CATEGORIES_PER_MFGR)
+    return f"MFGR#{mfgr + 1}{category + 1}"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: a name, a numpy dtype, and its width in bytes."""
+
+    name: str
+    dtype: str
+
+    @property
+    def width(self) -> int:
+        return np.dtype(self.dtype).itemsize
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Schema of one SSB table."""
+
+    name: str
+    columns: tuple[ColumnSpec, ...]
+
+    def column(self, name: str) -> ColumnSpec:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"table {self.name!r} has no column {name!r}")
+
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def row_width(self) -> int:
+        """Packed row width in bytes (columnar widths summed)."""
+        return sum(c.width for c in self.columns)
+
+
+LINEORDER = TableSpec(
+    "lineorder",
+    (
+        ColumnSpec("lo_orderkey", "int64"),
+        ColumnSpec("lo_linenumber", "int8"),
+        ColumnSpec("lo_custkey", "int32"),
+        ColumnSpec("lo_partkey", "int32"),
+        ColumnSpec("lo_suppkey", "int32"),
+        ColumnSpec("lo_orderdate", "int32"),       # yyyymmdd date key
+        ColumnSpec("lo_orderpriority", "int8"),
+        ColumnSpec("lo_shippriority", "int8"),
+        ColumnSpec("lo_quantity", "int8"),
+        ColumnSpec("lo_extendedprice", "int32"),
+        ColumnSpec("lo_ordtotalprice", "int32"),
+        ColumnSpec("lo_discount", "int8"),
+        ColumnSpec("lo_revenue", "int32"),
+        ColumnSpec("lo_supplycost", "int32"),
+        ColumnSpec("lo_tax", "int8"),
+        ColumnSpec("lo_commitdate", "int32"),
+        ColumnSpec("lo_shipmode", "int8"),
+    ),
+)
+
+DATE = TableSpec(
+    "date",
+    (
+        ColumnSpec("d_datekey", "int32"),          # yyyymmdd
+        ColumnSpec("d_dayofweek", "int8"),
+        ColumnSpec("d_month", "int8"),
+        ColumnSpec("d_year", "int16"),
+        ColumnSpec("d_yearmonthnum", "int32"),     # yyyymm
+        ColumnSpec("d_daynuminweek", "int8"),
+        ColumnSpec("d_daynuminmonth", "int8"),
+        ColumnSpec("d_daynuminyear", "int16"),
+        ColumnSpec("d_monthnuminyear", "int8"),
+        ColumnSpec("d_weeknuminyear", "int8"),
+        ColumnSpec("d_sellingseason", "int8"),
+        ColumnSpec("d_lastdayinweekfl", "int8"),
+        ColumnSpec("d_holidayfl", "int8"),
+        ColumnSpec("d_weekdayfl", "int8"),
+    ),
+)
+
+CUSTOMER = TableSpec(
+    "customer",
+    (
+        ColumnSpec("c_custkey", "int32"),
+        ColumnSpec("c_city", "int16"),
+        ColumnSpec("c_nation", "int8"),
+        ColumnSpec("c_region", "int8"),
+        ColumnSpec("c_mktsegment", "int8"),
+    ),
+)
+
+SUPPLIER = TableSpec(
+    "supplier",
+    (
+        ColumnSpec("s_suppkey", "int32"),
+        ColumnSpec("s_city", "int16"),
+        ColumnSpec("s_nation", "int8"),
+        ColumnSpec("s_region", "int8"),
+    ),
+)
+
+PART = TableSpec(
+    "part",
+    (
+        ColumnSpec("p_partkey", "int32"),
+        ColumnSpec("p_mfgr", "int8"),
+        ColumnSpec("p_category", "int8"),
+        ColumnSpec("p_brand1", "int16"),
+        ColumnSpec("p_color", "int8"),
+        ColumnSpec("p_size", "int8"),
+    ),
+)
+
+ALL_TABLES: tuple[TableSpec, ...] = (LINEORDER, DATE, CUSTOMER, SUPPLIER, PART)
+
+
+def table_spec(name: str) -> TableSpec:
+    for spec in ALL_TABLES:
+        if spec.name == name:
+            return spec
+    raise SchemaError(f"unknown SSB table: {name!r}")
+
+
+def lineorder_rows(scale_factor: float) -> int:
+    """Fact-table cardinality for a scale factor (sf 1 = 6M rows)."""
+    if scale_factor <= 0:
+        raise SchemaError("scale factor must be positive")
+    return int(round(scale_factor * 6_000_000))
+
+
+def customer_rows(scale_factor: float) -> int:
+    if scale_factor <= 0:
+        raise SchemaError("scale factor must be positive")
+    return max(1, int(round(scale_factor * 30_000)))
+
+
+def supplier_rows(scale_factor: float) -> int:
+    if scale_factor <= 0:
+        raise SchemaError("scale factor must be positive")
+    return max(1, int(round(scale_factor * 2_000)))
+
+
+def part_rows(scale_factor: float) -> int:
+    """Part grows logarithmically per the SSB spec."""
+    if scale_factor <= 0:
+        raise SchemaError("scale factor must be positive")
+    if scale_factor < 1:
+        return max(1, int(round(200_000 * scale_factor)))
+    return int(200_000 * (1 + math.floor(math.log2(scale_factor))))

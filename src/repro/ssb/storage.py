@@ -1,0 +1,185 @@
+"""System profiles: how an SSB deployment places data and threads.
+
+A :class:`SystemProfile` bundles everything the paper varies between its
+SSB experiments — storage medium, PMEM-awareness, socket/thread usage,
+pinning, hash-index implementation, tuple layout, dimension replication,
+dax mode. Profiles for every configuration the paper reports (Hyrise on
+PMEM/DRAM, the handcrafted implementation on PMEM/DRAM, the Table 1
+optimization ladder, and the traditional SSD setup) are predefined.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.memsim.address import DaxMode
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.topology import MediaKind
+
+
+class IndexKind(enum.Enum):
+    """Hash-index implementation used for joins."""
+
+    DASH = "dash"          # PMEM-optimized, 256 B buckets (handcrafted SSB)
+    CHAINED = "chained"    # PMEM-unaware chains of 64 B nodes (Hyrise)
+
+
+class TupleLayout(enum.Enum):
+    """Physical fact-table layout."""
+
+    #: Handcrafted row format: fields aligned to 128 B per tuple, whole
+    #: rows scanned regardless of the touched columns (§6.2).
+    ROW128 = "row128"
+    #: Columnar: scans touch only the referenced columns (Hyrise).
+    COLUMNAR = "columnar"
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One SSB deployment configuration."""
+
+    name: str
+    media: MediaKind
+    sockets: int = 1
+    threads_per_socket: int = 18
+    pinning: PinningPolicy = PinningPolicy.NUMA_REGION
+    index_kind: IndexKind = IndexKind.DASH
+    tuple_layout: TupleLayout = TupleLayout.ROW128
+    #: NUMA-aware data placement: fact striped per socket, each socket's
+    #: threads touching only near data. False models the naive 2-socket
+    #: step of Table 1 (threads read both sockets' memory).
+    numa_aware: bool = True
+    #: Dimension tables replicated per socket (avoids far random access).
+    replicate_dimensions: bool = True
+    dax_mode: DaxMode = DaxMode.DEVDAX
+    #: Base tables live on the NVMe SSD; indexes and intermediates in
+    #: DRAM (the "traditional OLAP system" of §6.2).
+    tables_on_ssd: bool = False
+    #: Medium holding the hash indexes and intermediates. ``None`` means
+    #: the same as ``media``; setting ``MediaKind.DRAM`` with PMEM base
+    #: tables models the hybrid design the paper names as future work
+    #: (§9; §5.2: "hybrid designs are essential in future OLAP designs").
+    index_media: MediaKind | None = None
+
+    def __post_init__(self) -> None:
+        if self.sockets not in (1, 2):
+            raise ConfigurationError("profiles model 1- or 2-socket deployments")
+        if self.threads_per_socket < 1:
+            raise ConfigurationError("need at least one thread per socket")
+        if self.tables_on_ssd and self.media is not MediaKind.DRAM:
+            raise ConfigurationError(
+                "the SSD profile keeps indexes/intermediates in DRAM"
+            )
+        if self.index_media is MediaKind.SSD:
+            raise ConfigurationError("indexes cannot live on the SSD")
+
+    @property
+    def effective_index_media(self) -> MediaKind:
+        """Medium serving index probes and intermediate writes."""
+        if self.tables_on_ssd:
+            return MediaKind.DRAM
+        if self.index_media is not None:
+            return self.index_media
+        return self.media
+
+    @property
+    def total_threads(self) -> int:
+        return self.sockets * self.threads_per_socket
+
+    @property
+    def pmem_aware(self) -> bool:
+        """PMEM-aware per the paper: Dash index + row-aligned layout."""
+        return self.index_kind is IndexKind.DASH
+
+    def with_(self, **changes: object) -> "SystemProfile":
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# the paper's configurations
+# ---------------------------------------------------------------------------
+
+#: Hyrise (§6.1): columnar, PMEM-unaware chained hash operators, single
+#: socket ("Hyrise does not support NUMA-aware allocation ... we run
+#: Hyrise on a single socket"), fsdax file storage.
+HYRISE_PMEM = SystemProfile(
+    name="hyrise-pmem",
+    media=MediaKind.PMEM,
+    sockets=1,
+    threads_per_socket=36,
+    pinning=PinningPolicy.NUMA_REGION,
+    index_kind=IndexKind.CHAINED,
+    tuple_layout=TupleLayout.COLUMNAR,
+    replicate_dimensions=False,
+    dax_mode=DaxMode.FSDAX,
+)
+
+HYRISE_DRAM = HYRISE_PMEM.with_(name="hyrise-dram", media=MediaKind.DRAM)
+
+#: Handcrafted SSB (§6.2): 36 threads pinned to all physical cores of
+#: both sockets, fact table shuffled and striped across both sockets'
+#: PMEM, dimensions replicated, Dash index, fsdax (Dash needs a
+#: filesystem interface), 128 B-aligned row tuples.
+HANDCRAFTED_PMEM = SystemProfile(
+    name="handcrafted-pmem",
+    media=MediaKind.PMEM,
+    sockets=2,
+    threads_per_socket=18,
+    pinning=PinningPolicy.CORES,
+    index_kind=IndexKind.DASH,
+    tuple_layout=TupleLayout.ROW128,
+    numa_aware=True,
+    replicate_dimensions=True,
+    dax_mode=DaxMode.FSDAX,
+)
+
+HANDCRAFTED_DRAM = HANDCRAFTED_PMEM.with_(
+    name="handcrafted-dram", media=MediaKind.DRAM
+)
+
+#: Hybrid design (the paper's future work, §9): base tables scanned from
+#: PMEM (capacity), hash indexes and intermediates in DRAM (random
+#: access) — the placement §5.2 motivates ("DRAM scales significantly
+#: better when in full use ... hybrid designs are essential").
+HYBRID_PMEM_DRAM = HANDCRAFTED_PMEM.with_(
+    name="hybrid-pmem-dram", index_media=MediaKind.DRAM
+)
+
+#: "Traditional" OLAP (§6.2): tables scanned from the NVMe SSD, hash
+#: indexes and intermediates in DRAM.
+TRADITIONAL_SSD = SystemProfile(
+    name="traditional-ssd",
+    media=MediaKind.DRAM,
+    sockets=2,
+    threads_per_socket=18,
+    pinning=PinningPolicy.CORES,
+    index_kind=IndexKind.DASH,
+    tuple_layout=TupleLayout.ROW128,
+    tables_on_ssd=True,
+)
+
+
+def table1_ladder(media: MediaKind) -> tuple[SystemProfile, ...]:
+    """The five optimization steps of Table 1 for Q2.1.
+
+    1 Thr -> 18 Thr -> 2-Socket (no NUMA awareness) -> NUMA (aware
+    placement, region pinning) -> Pinning (explicit core pinning).
+    """
+    base = HANDCRAFTED_PMEM if media is MediaKind.PMEM else HANDCRAFTED_DRAM
+    return (
+        base.with_(name=f"{base.name}-1thr", sockets=1, threads_per_socket=1,
+                   pinning=PinningPolicy.NUMA_REGION),
+        base.with_(name=f"{base.name}-18thr", sockets=1, threads_per_socket=18,
+                   pinning=PinningPolicy.NUMA_REGION),
+        base.with_(name=f"{base.name}-2socket", sockets=2, threads_per_socket=18,
+                   numa_aware=False, replicate_dimensions=False,
+                   pinning=PinningPolicy.NUMA_REGION),
+        base.with_(name=f"{base.name}-numa", sockets=2, threads_per_socket=18,
+                   numa_aware=True, replicate_dimensions=True,
+                   pinning=PinningPolicy.NUMA_REGION),
+        base.with_(name=f"{base.name}-pinning", sockets=2, threads_per_socket=18,
+                   numa_aware=True, replicate_dimensions=True,
+                   pinning=PinningPolicy.CORES),
+    )

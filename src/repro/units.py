@@ -1,0 +1,88 @@
+"""Unit helpers shared across the package.
+
+Conventions
+-----------
+* *Sizes* (capacities, access sizes, buffer sizes) are plain integers in
+  bytes. Binary multiples (:data:`KIB`, :data:`MIB`, :data:`GIB`) are used
+  for anything that is a power-of-two hardware quantity, which matches the
+  paper: a "4 KB access" is 4096 bytes, a "128 GB DIMM" is ``128 * GIB``.
+* *Bandwidths* are floats in **decimal** gigabytes per second (GB/s),
+  matching the unit used on every figure axis in the paper.
+* *Times* are floats in seconds; nanosecond constants are provided for
+  latency bookkeeping.
+"""
+
+from __future__ import annotations
+
+#: One kibibyte (2**10 bytes).
+KIB: int = 1024
+#: One mebibyte (2**20 bytes).
+MIB: int = 1024 * KIB
+#: One gibibyte (2**30 bytes).
+GIB: int = 1024 * MIB
+#: One tebibyte (2**40 bytes).
+TIB: int = 1024 * GIB
+
+#: One decimal gigabyte (10**9 bytes), the unit behind "GB/s" figures.
+GB: int = 1_000_000_000
+
+#: One nanosecond in seconds.
+NS: float = 1e-9
+#: One microsecond in seconds.
+US: float = 1e-6
+#: One millisecond in seconds.
+MS: float = 1e-3
+
+
+def gib(n: float) -> int:
+    """Return ``n`` gibibytes as an integer byte count."""
+    return int(n * GIB)
+
+
+def mib(n: float) -> int:
+    """Return ``n`` mebibytes as an integer byte count."""
+    return int(n * MIB)
+
+
+def kib(n: float) -> int:
+    """Return ``n`` kibibytes as an integer byte count."""
+    return int(n * KIB)
+
+
+def gbps(bytes_count: float, seconds: float) -> float:
+    """Convert a byte count over a duration into decimal GB/s.
+
+    Raises
+    ------
+    ZeroDivisionError
+        If ``seconds`` is zero; callers are expected to guard against
+        measuring zero-length intervals.
+    """
+    return bytes_count / seconds / GB
+
+
+def seconds_for(bytes_count: float, bandwidth_gbps: float) -> float:
+    """Return the time needed to move ``bytes_count`` at ``bandwidth_gbps``.
+
+    A zero or negative bandwidth is a caller bug and raises ``ValueError``
+    instead of silently returning infinity.
+    """
+    if bandwidth_gbps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_gbps}")
+    return bytes_count / (bandwidth_gbps * GB)
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count with a human-friendly binary suffix.
+
+    >>> fmt_bytes(4096)
+    '4.0KiB'
+    >>> fmt_bytes(64)
+    '64B'
+    """
+    if n < KIB:
+        return f"{n}B"
+    for suffix, factor in (("KiB", KIB), ("MiB", MIB), ("GiB", GIB), ("TiB", TIB)):
+        if n < factor * 1024 or suffix == "TiB":
+            return f"{n / factor:.1f}{suffix}"
+    raise AssertionError("unreachable")

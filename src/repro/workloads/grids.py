@@ -1,0 +1,52 @@
+"""Generic sweep-grid plumbing shared by the workload generators."""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.memsim.spec import StreamSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a parameter sweep: a label plus its stream(s)."""
+
+    label: str
+    params: dict[str, object]
+    streams: tuple[StreamSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.streams:
+            raise WorkloadError(f"sweep point {self.label!r} has no streams")
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """An ordered collection of sweep points forming one experiment."""
+
+    name: str
+    points: tuple[SweepPoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise WorkloadError(f"sweep {self.name!r} is empty")
+        labels = [p.label for p in self.points]
+        if len(set(labels)) != len(labels):
+            raise WorkloadError(f"sweep {self.name!r} has duplicate labels")
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def labels(self) -> list[str]:
+        return [p.label for p in self.points]
+
+    def point(self, label: str) -> SweepPoint:
+        for p in self.points:
+            if p.label == label:
+                return p
+        raise WorkloadError(f"sweep {self.name!r} has no point {label!r}")

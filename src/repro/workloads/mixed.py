@@ -1,0 +1,58 @@
+"""Mixed read/write workload grid of §5.1 (Fig. 11)."""
+
+from __future__ import annotations
+
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, StreamSpec
+from repro.memsim.topology import MediaKind
+from repro.workloads.grids import SweepGrid, SweepPoint
+
+#: The writer counts of Fig. 11.
+PAPER_WRITE_COUNTS: tuple[int, ...] = (1, 4, 6)
+
+#: The reader counts of Fig. 11.
+PAPER_READ_COUNTS: tuple[int, ...] = (1, 8, 18, 30)
+
+
+def mixed_grid(
+    *,
+    write_counts: tuple[int, ...] = PAPER_WRITE_COUNTS,
+    read_counts: tuple[int, ...] = PAPER_READ_COUNTS,
+    media: MediaKind = MediaKind.PMEM,
+    access_size: int = 4096,
+) -> SweepGrid:
+    """x write / y read thread combinations on one socket's DIMMs.
+
+    Matches the paper's setup: both sides use individual 4 KB access to
+    disjoint 40 GB datasets on the *same* PMEM DIMMs, pinned to the NUMA
+    region, at most 36 threads total.
+    """
+    points = []
+    for writers in write_counts:
+        for readers in read_counts:
+            write = StreamSpec(
+                op=Op.WRITE,
+                threads=writers,
+                access_size=access_size,
+                media=media,
+                layout=Layout.INDIVIDUAL,
+                pinning=PinningPolicy.NUMA_REGION,
+                total_bytes=40 * 1024**3,
+            )
+            read = StreamSpec(
+                op=Op.READ,
+                threads=readers,
+                access_size=access_size,
+                media=media,
+                layout=Layout.INDIVIDUAL,
+                pinning=PinningPolicy.NUMA_REGION,
+                total_bytes=40 * 1024**3,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{writers}/{readers}",
+                    params={"write_threads": writers, "read_threads": readers},
+                    streams=(write, read),
+                )
+            )
+    return SweepGrid(name=f"mixed-{media.value}", points=tuple(points))

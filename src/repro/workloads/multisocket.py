@@ -1,0 +1,94 @@
+"""Multi-socket scenarios of §3.5 (Fig. 6) and §4.5 (Fig. 10).
+
+The five canonical configurations, quoting the paper:
+
+i)   one socket reading/writing its near memory;
+ii)  one socket on its far memory;
+iii) two sockets, each on its near memory;
+iv)  two sockets, each on its far memory;
+v)   one socket near plus the other socket far on the *same* memory.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, StreamSpec
+from repro.memsim.topology import MediaKind
+from repro.workloads.grids import SweepGrid, SweepPoint
+
+MULTISOCKET_READ_LABELS: tuple[str, ...] = (
+    "1 Near", "1 Far", "2 Near", "2 Far", "1 Near 1 Far",
+)
+
+MULTISOCKET_WRITE_LABELS = MULTISOCKET_READ_LABELS
+
+
+def _stream(op, threads, media, issuing, target):
+    return StreamSpec(
+        op=op,
+        threads=threads,
+        access_size=4096,
+        media=media,
+        layout=Layout.INDIVIDUAL,
+        pinning=PinningPolicy.NUMA_REGION,
+        issuing_socket=issuing,
+        target_socket=target,
+    )
+
+
+def _scenario_streams(op, label, threads, media):
+    if label == "1 Near":
+        return (_stream(op, threads, media, 0, 0),)
+    if label == "1 Far":
+        return (_stream(op, threads, media, 0, 1),)
+    if label == "2 Near":
+        return (
+            _stream(op, threads, media, 0, 0),
+            _stream(op, threads, media, 1, 1),
+        )
+    if label == "2 Far":
+        return (
+            _stream(op, threads, media, 0, 1),
+            _stream(op, threads, media, 1, 0),
+        )
+    if label == "1 Near 1 Far":
+        # Both sockets access socket 0's memory.
+        return (
+            _stream(op, threads, media, 0, 0),
+            _stream(op, threads, media, 1, 0),
+        )
+    raise WorkloadError(f"unknown multi-socket scenario: {label}")
+
+
+def multisocket_read_scenarios(
+    *,
+    media: MediaKind = MediaKind.PMEM,
+    thread_counts: tuple[int, ...] = (1, 4, 8, 18, 24, 36),
+) -> SweepGrid:
+    """Fig. 6 scenario grid; ``thread_counts`` are threads *per socket*."""
+    return _scenario_grid(Op.READ, media, thread_counts)
+
+
+def multisocket_write_scenarios(
+    *,
+    media: MediaKind = MediaKind.PMEM,
+    thread_counts: tuple[int, ...] = (1, 4, 8, 18, 24, 32, 36),
+) -> SweepGrid:
+    """Fig. 10 scenario grid; ``thread_counts`` are threads *per socket*."""
+    return _scenario_grid(Op.WRITE, media, thread_counts)
+
+
+def _scenario_grid(op, media, thread_counts) -> SweepGrid:
+    points = []
+    labels = MULTISOCKET_READ_LABELS if op is Op.READ else MULTISOCKET_WRITE_LABELS
+    for label in labels:
+        for threads in thread_counts:
+            points.append(
+                SweepPoint(
+                    label=f"{label}/{threads}T",
+                    params={"scenario": label, "threads": threads},
+                    streams=_scenario_streams(op, label, threads, media),
+                )
+            )
+    return SweepGrid(name=f"multisocket-{op.value}-{media.value}", points=tuple(points))

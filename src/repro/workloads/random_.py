@@ -1,0 +1,56 @@
+"""Random-access sweeps of §5.2 (Figures 12 and 13)."""
+
+from __future__ import annotations
+
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
+from repro.memsim.topology import MediaKind
+from repro.workloads.grids import SweepGrid, SweepPoint
+from repro.units import GIB
+
+#: The access sizes of Figures 12/13: "64 Byte to 8 KB, as we do not
+#: consider larger access sizes to be random anymore".
+PAPER_RANDOM_SIZES: tuple[int, ...] = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Default region: 2 GB, "representing, e.g., a hash index".
+DEFAULT_REGION: int = 2 * GIB
+
+
+def random_sweep(
+    op: Op,
+    *,
+    media: MediaKind = MediaKind.PMEM,
+    access_sizes: tuple[int, ...] = PAPER_RANDOM_SIZES,
+    thread_counts: tuple[int, ...] | None = None,
+    region_bytes: int = DEFAULT_REGION,
+) -> SweepGrid:
+    """Random read/write sweep over access size x thread count."""
+    if thread_counts is None:
+        thread_counts = (
+            (1, 4, 8, 16, 18, 24, 32, 36)
+            if op is Op.READ
+            else (1, 2, 4, 6, 8, 18, 24, 36)
+        )
+    points = []
+    for threads in thread_counts:
+        for size in access_sizes:
+            spec = StreamSpec(
+                op=op,
+                threads=threads,
+                access_size=size,
+                media=media,
+                pattern=Pattern.RANDOM,
+                layout=Layout.INDIVIDUAL,
+                pinning=PinningPolicy.NUMA_REGION,
+                region_bytes=region_bytes,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{threads}T/{size}B",
+                    params={"threads": threads, "access_size": size},
+                    streams=(spec,),
+                )
+            )
+    return SweepGrid(
+        name=f"random-{op.value}-{media.value}", points=tuple(points)
+    )

@@ -1,0 +1,118 @@
+"""Sequential read/write sweeps matching the paper's Sections 3 and 4."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, StreamSpec
+from repro.memsim.topology import MediaKind
+from repro.workloads.grids import SweepGrid, SweepPoint
+
+#: The access sizes of Figures 3 and 7 (64 B to 64 KB, powers of two).
+PAPER_ACCESS_SIZES: tuple[int, ...] = (
+    64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+)
+
+#: The thread counts annotated in the read figures.
+PAPER_THREAD_COUNTS: tuple[int, ...] = (1, 4, 8, 16, 18, 24, 32, 36)
+
+#: The thread counts annotated in the write figures.
+PAPER_WRITE_THREAD_COUNTS: tuple[int, ...] = (1, 2, 4, 6, 8, 18, 24, 36)
+
+
+def sequential_sweep(
+    op: Op,
+    *,
+    media: MediaKind = MediaKind.PMEM,
+    access_sizes: tuple[int, ...] = PAPER_ACCESS_SIZES,
+    thread_counts: tuple[int, ...] | None = None,
+    layout: Layout = Layout.GROUPED,
+) -> SweepGrid:
+    """Access-size x thread-count sweep (Fig. 3 for reads, Fig. 7/8 writes).
+
+    Threads are pinned to one NUMA region via numactl in the paper; the
+    corresponding ``PinningPolicy.NUMA_REGION`` is used here.
+    """
+    if thread_counts is None:
+        thread_counts = (
+            PAPER_THREAD_COUNTS if op is Op.READ else PAPER_WRITE_THREAD_COUNTS
+        )
+    points = []
+    for threads in thread_counts:
+        for size in access_sizes:
+            spec = StreamSpec(
+                op=op,
+                threads=threads,
+                access_size=size,
+                media=media,
+                layout=layout,
+                pinning=PinningPolicy.NUMA_REGION,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{threads}T/{size}B",
+                    params={"threads": threads, "access_size": size},
+                    streams=(spec,),
+                )
+            )
+    name = f"sequential-{op.value}-{layout.value}-{media.value}"
+    return SweepGrid(name=name, points=tuple(points))
+
+
+def pinning_sweep(
+    op: Op,
+    *,
+    thread_counts: tuple[int, ...] = (1, 4, 8, 18, 24, 36),
+    access_size: int = 4096,
+) -> SweepGrid:
+    """Pinning-policy sweep (Fig. 4 reads, Fig. 9 writes): individual 4 KB."""
+    points = []
+    for policy in (PinningPolicy.NONE, PinningPolicy.NUMA_REGION, PinningPolicy.CORES):
+        for threads in thread_counts:
+            spec = StreamSpec(
+                op=op,
+                threads=threads,
+                access_size=access_size,
+                layout=Layout.INDIVIDUAL,
+                pinning=policy,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{policy.value}/{threads}T",
+                    params={"policy": policy, "threads": threads},
+                    streams=(spec,),
+                )
+            )
+    return SweepGrid(name=f"pinning-{op.value}", points=tuple(points))
+
+
+def numa_locality_sweep(
+    op: Op,
+    *,
+    thread_counts: tuple[int, ...] = (1, 4, 8, 18, 24, 36),
+    access_size: int = 4096,
+) -> SweepGrid:
+    """Near vs. far sweep (Fig. 5 for reads; the 1 Near/1 Far curves of
+    Fig. 10 for writes). Individual 4 KB access, NUMA-region pinning."""
+    if op not in (Op.READ, Op.WRITE):
+        raise WorkloadError(f"unsupported op: {op}")
+    points = []
+    for locality in ("near", "far"):
+        for threads in thread_counts:
+            spec = StreamSpec(
+                op=op,
+                threads=threads,
+                access_size=access_size,
+                layout=Layout.INDIVIDUAL,
+                pinning=PinningPolicy.NUMA_REGION,
+                issuing_socket=0,
+                target_socket=0 if locality == "near" else 1,
+            )
+            points.append(
+                SweepPoint(
+                    label=f"{locality}/{threads}T",
+                    params={"locality": locality, "threads": threads},
+                    streams=(spec,),
+                )
+            )
+    return SweepGrid(name=f"numa-{op.value}", points=tuple(points))

@@ -1,0 +1,90 @@
+"""Tests for the placement advisor."""
+
+import pytest
+
+from repro.core import AccessProfile, PlacementAdvisor, WorkloadIntent
+from repro.errors import ConfigurationError
+from repro.memsim import DaxMode, PinningPolicy
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    return PlacementAdvisor()
+
+
+class TestIntentValidation:
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadIntent(profile=AccessProfile.SCAN_HEAVY, threads_per_socket=0)
+
+    def test_zero_sockets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadIntent(profile=AccessProfile.SCAN_HEAVY, sockets=0)
+
+
+class TestRecommendations:
+    def test_scan_heavy_defaults(self, advisor):
+        rec = advisor.recommend(WorkloadIntent(profile=AccessProfile.SCAN_HEAVY))
+        assert rec.pinning is PinningPolicy.CORES
+        assert rec.dax_mode is DaxMode.DEVDAX
+        assert rec.stripe_across_sockets
+        assert rec.write_threads <= 8  # best practice 2
+        assert rec.read_threads >= 8
+        assert rec.expected_read_gbps > rec.expected_write_gbps
+
+    def test_no_system_control_pins_to_numa(self, advisor):
+        rec = advisor.recommend(
+            WorkloadIntent(profile=AccessProfile.SCAN_HEAVY, full_system_control=False)
+        )
+        assert rec.pinning is PinningPolicy.NUMA_REGION
+
+    def test_filesystem_requirement_forces_fsdax(self, advisor):
+        rec = advisor.recommend(
+            WorkloadIntent(profile=AccessProfile.JOIN_HEAVY, needs_filesystem=True)
+        )
+        assert rec.dax_mode is DaxMode.FSDAX
+        assert any("BP7 waived" in r for r in rec.rationale)
+
+    def test_mixed_profile_serializes_phases(self, advisor):
+        rec = advisor.recommend(WorkloadIntent(profile=AccessProfile.MIXED))
+        assert rec.serialize_read_write_phases
+        assert 5 in rec.practices
+
+    def test_ingest_profile_does_not_serialize(self, advisor):
+        rec = advisor.recommend(WorkloadIntent(profile=AccessProfile.INGEST))
+        assert not rec.serialize_read_write_phases
+
+    def test_join_heavy_replicates_dimensions(self, advisor):
+        rec = advisor.recommend(WorkloadIntent(profile=AccessProfile.JOIN_HEAVY))
+        assert rec.replicate_small_tables
+
+    def test_single_socket_never_stripes(self, advisor):
+        rec = advisor.recommend(
+            WorkloadIntent(profile=AccessProfile.JOIN_HEAVY, sockets=1)
+        )
+        assert not rec.stripe_across_sockets
+        assert not rec.replicate_small_tables
+
+    def test_thread_budget_respected(self, advisor):
+        rec = advisor.recommend(
+            WorkloadIntent(profile=AccessProfile.SCAN_HEAVY, threads_per_socket=8)
+        )
+        assert rec.read_threads <= 8
+        assert rec.write_threads <= 8
+
+    def test_write_granularity_respected(self, advisor):
+        rec = advisor.recommend(
+            WorkloadIntent(profile=AccessProfile.INGEST, min_write_granularity=4096)
+        )
+        assert rec.write_access_size >= 4096
+
+    def test_describe_mentions_practices(self, advisor):
+        rec = advisor.recommend(WorkloadIntent(profile=AccessProfile.SCAN_HEAVY))
+        text = rec.describe()
+        assert "BP2" in text
+        assert "GB/s" in text
+
+    def test_expected_bandwidths_match_model_limits(self, advisor):
+        rec = advisor.recommend(WorkloadIntent(profile=AccessProfile.SCAN_HEAVY))
+        assert rec.expected_read_gbps <= 40.5
+        assert rec.expected_write_gbps <= 13.5

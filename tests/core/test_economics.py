@@ -1,0 +1,90 @@
+"""Tests for the §7 price/performance analysis."""
+
+import pytest
+
+from repro.core.economics import (
+    PAPER_DRAM_PRICE,
+    PAPER_PMEM_PRICE,
+    MemoryPrice,
+    breakeven_slowdown,
+    compare,
+    paper_comparison,
+    provision,
+)
+from repro.errors import ConfigurationError
+from repro.units import GIB, TIB
+
+
+class TestPrices:
+    def test_paper_pmem_module(self):
+        assert PAPER_PMEM_PRICE.usd == 575.0
+        assert PAPER_PMEM_PRICE.usd_per_gib == pytest.approx(575 / 128)
+
+    def test_pmem_cheaper_per_gib(self):
+        assert PAPER_PMEM_PRICE.usd_per_gib < PAPER_DRAM_PRICE.usd_per_gib
+
+    def test_invalid_price(self):
+        with pytest.raises(ConfigurationError):
+            MemoryPrice(capacity=0, usd=1.0)
+        with pytest.raises(ConfigurationError):
+            MemoryPrice(capacity=GIB, usd=0.0)
+
+
+class TestProvisioning:
+    def test_paper_system(self):
+        # 1.5 TB of PMEM = 12 x 128 GB DIMMs = ~$6,900 (§7).
+        cost = provision(12 * 128 * GIB, PAPER_PMEM_PRICE)
+        assert cost.modules == 12
+        assert cost.usd == pytest.approx(6900.0)
+
+    def test_paper_dram_equivalent(self):
+        # §7: 1.5 TB of DRAM at $700 per 64 GB is ~$16,800.
+        cost = provision(12 * 128 * GIB, PAPER_DRAM_PRICE)
+        assert cost.modules == 24
+        assert cost.usd == pytest.approx(16800.0)
+
+    def test_rounds_up_to_whole_modules(self):
+        cost = provision(100 * GIB, PAPER_PMEM_PRICE)
+        assert cost.modules == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            provision(0, PAPER_PMEM_PRICE)
+
+
+class TestComparison:
+    def test_paper_headline(self):
+        result = paper_comparison()
+        # §7: "i.e., 2.4x higher with the average SSB query performance
+        # of DRAM being only 1.6x better than PMEM".
+        assert result.price_ratio == pytest.approx(2.43, rel=0.02)
+        assert result.pmem_wins
+        assert result.performance_per_dollar_advantage > 1.4
+
+    def test_dram_wins_when_slowdown_exceeds_price_ratio(self):
+        result = compare(capacity=TIB, slowdown=5.3)  # the Hyrise slowdown
+        assert not result.pmem_wins
+
+    def test_breakeven(self):
+        breakeven = breakeven_slowdown(12 * 128 * GIB)
+        assert compare(12 * 128 * GIB, breakeven * 0.99).pmem_wins
+        assert not compare(12 * 128 * GIB, breakeven * 1.01).pmem_wins
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ConfigurationError):
+            compare(capacity=TIB, slowdown=0)
+
+    def test_describe(self):
+        text = paper_comparison().describe()
+        assert "PMEM wins" in text
+        assert "$6,900" in text
+
+    def test_measured_slowdown_keeps_pmem_winning(self):
+        # End-to-end: the reproduction's own measured slowdown must stay
+        # below the break-even for the paper's system.
+        from repro.ssb.runner import SsbRunner, average_slowdown
+
+        runner = SsbRunner(measured_sf=0.02, seed=5)
+        fb = runner.figure14b()
+        measured = average_slowdown(fb["pmem"], fb["dram"])
+        assert measured < breakeven_slowdown(12 * 128 * GIB)

@@ -1,0 +1,126 @@
+"""Tests for the hybrid PMEM-DRAM placement planner (future work, §9)."""
+
+import pytest
+
+from repro.core.hybrid import (
+    HybridPlanner,
+    Structure,
+    StructureKind,
+    ssb_structures,
+)
+from repro.errors import ConfigurationError
+from repro.memsim import MediaKind
+from repro.units import GB, GIB
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return HybridPlanner()
+
+
+def _index(name="index", size=2 * GIB, traffic=100 * GB):
+    return Structure(
+        name=name, size_bytes=size, traffic_bytes=traffic,
+        kind=StructureKind.RANDOM, access_size=256,
+    )
+
+
+def _fact(size=70 * GIB, traffic=70 * GB):
+    return Structure(
+        name="fact", size_bytes=size, traffic_bytes=traffic,
+        kind=StructureKind.SEQUENTIAL,
+    )
+
+
+class TestBenefit:
+    def test_random_structures_benefit_more_per_byte(self, planner):
+        # §5.2's argument: DRAM helps random access (~4x) more than
+        # sequential scans (~2.5x); the index also moves more traffic
+        # per byte of footprint.
+        index = _index()
+        fact = _fact()
+        index_density = planner.benefit(index) / index.size_bytes
+        fact_density = planner.benefit(fact) / fact.size_bytes
+        assert index_density > fact_density
+
+    def test_benefit_non_negative(self, planner):
+        assert planner.benefit(_index(traffic=0)) == 0.0
+
+
+class TestPlanning:
+    def test_budget_prefers_indexes(self, planner):
+        plan = planner.plan([_fact(), _index()], dram_budget=4 * GIB)
+        assert plan.media_of("index") is MediaKind.DRAM
+        assert plan.media_of("fact") is MediaKind.PMEM
+
+    def test_zero_budget_keeps_everything_on_pmem(self, planner):
+        plan = planner.plan([_fact(), _index()], dram_budget=0)
+        assert plan.dram_used == 0
+        assert plan.media_of("index") is MediaKind.PMEM
+
+    def test_budget_respected(self, planner):
+        structures = [
+            _index("a", size=3 * GIB, traffic=50 * GB),
+            _index("b", size=3 * GIB, traffic=40 * GB),
+            _index("c", size=3 * GIB, traffic=30 * GB),
+        ]
+        plan = planner.plan(structures, dram_budget=7 * GIB)
+        assert plan.dram_used <= 7 * GIB
+        # The two highest-traffic indexes fit; the third does not.
+        assert plan.media_of("a") is MediaKind.DRAM
+        assert plan.media_of("b") is MediaKind.DRAM
+        assert plan.media_of("c") is MediaKind.PMEM
+
+    def test_total_seconds_saved_counts_dram_only(self, planner):
+        plan = planner.plan([_index()], dram_budget=4 * GIB)
+        assert plan.total_seconds_saved > 0
+        empty = planner.plan([_index()], dram_budget=0)
+        assert empty.total_seconds_saved == 0
+
+    def test_duplicate_names_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan([_index("x"), _index("x")], dram_budget=GIB)
+
+    def test_negative_budget_rejected(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.plan([_index()], dram_budget=-1)
+
+    def test_unknown_structure_lookup(self, planner):
+        plan = planner.plan([_index()], dram_budget=GIB)
+        with pytest.raises(ConfigurationError):
+            plan.media_of("nope")
+
+    def test_describe(self, planner):
+        plan = planner.plan([_fact(), _index()], dram_budget=4 * GIB)
+        text = plan.describe()
+        assert "DRAM" in text and "PMEM" in text
+
+
+class TestSsbIntegration:
+    def test_structures_derived_from_traffic(self):
+        from repro.ssb.runner import SsbRunner
+
+        runner = SsbRunner(measured_sf=0.02, seed=5)
+        structures = ssb_structures(runner, target_sf=100.0)
+        names = {s.name for s in structures}
+        assert "lineorder (fact table)" in names
+        assert any("part index" in n for n in names)
+        fact = next(s for s in structures if "fact" in s.name)
+        assert fact.kind is StructureKind.SEQUENTIAL
+        assert fact.size_bytes > 50 * GB  # ~76.8 GB of 128 B rows at sf 100
+
+    def test_planner_promotes_hot_indexes_first(self):
+        from repro.ssb.runner import SsbRunner
+
+        runner = SsbRunner(measured_sf=0.02, seed=5)
+        structures = ssb_structures(runner, target_sf=100.0)
+        planner = HybridPlanner()
+        # A budget big enough for every index but not the fact table.
+        index_bytes = sum(
+            s.size_bytes for s in structures if s.kind is StructureKind.RANDOM
+        )
+        plan = planner.plan(structures, dram_budget=index_bytes)
+        for placement in plan.placements:
+            if placement.structure.kind is StructureKind.RANDOM:
+                assert placement.media is MediaKind.DRAM
+        assert plan.media_of("lineorder (fact table)") is MediaKind.PMEM

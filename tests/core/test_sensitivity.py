@@ -1,0 +1,76 @@
+"""Tests for the calibration-sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    PERTURBED_FIELDS,
+    SensitivityReport,
+    analyze,
+    perturb,
+)
+from repro.errors import ConfigurationError
+from repro.memsim.calibration import paper_calibration
+
+
+class TestPerturb:
+    def test_scales_one_field(self):
+        base = paper_calibration()
+        out = perturb(base, "pmem", "seq_read_max", 1.1)
+        assert out.pmem.seq_read_max == pytest.approx(44.0)
+        assert out.pmem.seq_write_max == base.pmem.seq_write_max
+        assert out.dram.seq_read_max == base.dram.seq_read_max
+
+    def test_base_untouched(self):
+        base = paper_calibration()
+        perturb(base, "dram", "seq_read_max", 0.5)
+        assert base.dram.seq_read_max == 100.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            perturb(paper_calibration(), "pmem", "seq_read_max", 0.0)
+
+
+class TestAnalyze:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return analyze(0.10)
+
+    def test_all_insights_robust_at_10_percent(self, report):
+        """The headline robustness claim: every conclusion survives a
+        ±10% recalibration of every fitted constant."""
+        assert report.robust_insights == set(range(1, 13))
+        assert not report.fragile_insights
+
+    def test_covers_both_directions(self, report):
+        factors = {factor for _, factor in report.outcomes}
+        assert factors == {0.9, 1.1}
+
+    def test_admissible_count(self, report):
+        assert len(report.outcomes) + len(report.rejected) == 2 * len(
+            PERTURBED_FIELDS
+        )
+
+    def test_describe(self, report):
+        text = report.describe()
+        assert "robust insights" in text
+        assert "±10%" in text
+
+    def test_invalid_magnitude(self):
+        with pytest.raises(ConfigurationError):
+            analyze(0.0)
+        with pytest.raises(ConfigurationError):
+            analyze(1.5)
+
+    def test_large_perturbations_get_rejected_or_flagged(self):
+        # At ±60% some perturbations must either violate the physical
+        # orderings (rejected) or break an insight — the analysis is not
+        # vacuous.
+        report = analyze(0.60)
+        assert report.rejected or report.fragile_insights
+
+
+class TestReportContainer:
+    def test_empty_report(self):
+        report = SensitivityReport(magnitude=0.1)
+        assert report.robust_insights == set()
+        assert report.fragile_insights == {}

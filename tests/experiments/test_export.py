@@ -1,0 +1,73 @@
+"""Tests for experiment-result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.export import (
+    comparisons_to_csv,
+    series_to_csv,
+    to_dict,
+    to_json,
+    write_bundle,
+)
+from repro.experiments.result import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult(exp_id="figX", title="demo")
+    r.add_series("a", {"1": 1.5, "2": 2.5})
+    r.add_series("b", {"1": 3.0})
+    r.compare("metric one", 10.0, 11.0)
+    r.notes.append("a note")
+    return r
+
+
+class TestJson:
+    def test_round_trips_through_json(self, result):
+        data = json.loads(to_json(result))
+        assert data["exp_id"] == "figX"
+        assert data["series"]["a"]["2"] == 2.5
+        assert data["comparisons"][0]["ratio"] == pytest.approx(1.1)
+        assert data["notes"] == ["a note"]
+
+    def test_dict_is_plain_data(self, result):
+        data = to_dict(result)
+        json.dumps(data)  # must not raise
+
+
+class TestCsv:
+    def test_series_long_form(self, result):
+        rows = list(csv.reader(series_to_csv(result).splitlines()))
+        assert rows[0] == ["series", "x", "value"]
+        assert ["a", "2", "2.5"] in rows
+        assert ["b", "1", "3.0"] in rows
+
+    def test_comparisons(self, result):
+        rows = list(csv.reader(comparisons_to_csv(result).splitlines()))
+        assert rows[0][0] == "metric"
+        assert rows[1][0] == "metric one"
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ExperimentError):
+            series_to_csv(ExperimentResult(exp_id="x", title="t"))
+
+
+class TestBundle:
+    def test_writes_three_files(self, result, tmp_path):
+        paths = write_bundle(result, tmp_path / "out")
+        assert len(paths) == 3
+        assert all(p.exists() for p in paths)
+        assert (tmp_path / "out" / "figX.json").exists()
+
+    def test_real_experiment_exports(self, tmp_path):
+        from repro.experiments.registry import run_experiment
+
+        figure = run_experiment("fig4")
+        paths = write_bundle(figure, tmp_path)
+        data = json.loads(paths[0].read_text())
+        assert data["exp_id"] == "fig4"
+        assert data["comparisons"]

@@ -1,0 +1,114 @@
+"""Tests for interleaving arithmetic and dax-mode modeling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.address import (
+    DaxMode,
+    InterleaveMap,
+    MappedRegion,
+    fsdax_bandwidth_factor,
+)
+from repro.units import GIB
+
+
+@pytest.fixture
+def interleave():
+    return InterleaveMap(ways=6)
+
+
+class TestDimmOf:
+    def test_first_stripe_on_dimm_zero(self, interleave):
+        assert interleave.dimm_of(0) == 0
+        assert interleave.dimm_of(4095) == 0
+
+    def test_round_robin(self, interleave):
+        # Figure 2: 4 KB steps rotate through DIMMs 0..5 and wrap.
+        assert interleave.dimm_of(4096) == 1
+        assert interleave.dimm_of(5 * 4096) == 5
+        assert interleave.dimm_of(6 * 4096) == 0
+
+    def test_negative_address_rejected(self, interleave):
+        with pytest.raises(ConfigurationError):
+            interleave.dimm_of(-1)
+
+
+class TestDimmsTouched:
+    def test_small_access_touches_one_dimm(self, interleave):
+        assert interleave.dimms_touched(0, 256) == frozenset({0})
+
+    def test_aligned_4k_touches_exactly_one_dimm(self, interleave):
+        # §4.1: "aligned 4 KB writes target exactly one DIMM".
+        assert interleave.dimms_touched(4096, 4096) == frozenset({1})
+
+    def test_unaligned_4k_straddles_two_dimms(self, interleave):
+        assert interleave.dimms_touched(2048, 4096) == frozenset({0, 1})
+
+    def test_large_access_touches_all(self, interleave):
+        # Data larger than 20 KB is striped across all six DIMMs (§2.1).
+        assert interleave.dimms_touched(0, 24 * 1024) == frozenset(range(6))
+
+    def test_wraps_around(self, interleave):
+        touched = interleave.dimms_touched(5 * 4096, 2 * 4096)
+        assert touched == frozenset({5, 0})
+
+    def test_zero_size_rejected(self, interleave):
+        with pytest.raises(ConfigurationError):
+            interleave.dimms_touched(0, 0)
+
+
+class TestSpanAndWindow:
+    def test_span_dimm_count_aligned(self, interleave):
+        assert interleave.span_dimm_count(4096) == 1
+        assert interleave.span_dimm_count(8192) == 2
+        assert interleave.span_dimm_count(1 << 20) == 6
+
+    def test_window_parallelism_grows_with_window(self, interleave):
+        small = interleave.window_parallelism(64 * 36)  # 2.3 KB
+        large = interleave.window_parallelism(4096 * 36)
+        assert small < 2.0
+        assert large == 6.0
+
+    def test_window_parallelism_capped_at_ways(self, interleave):
+        assert interleave.window_parallelism(1 << 30) == 6.0
+
+    def test_invalid_ways(self):
+        with pytest.raises(ConfigurationError):
+            InterleaveMap(ways=0)
+
+
+class TestMappedRegion:
+    def test_devdax_never_faults(self):
+        region = MappedRegion(size=GIB, dax_mode=DaxMode.DEVDAX)
+        assert region.fault_cost(0.5e-3) == 0.0
+
+    def test_prefaulted_fsdax_never_faults(self):
+        region = MappedRegion(size=GIB, dax_mode=DaxMode.FSDAX, prefaulted=True)
+        assert region.fault_cost(0.5e-3) == 0.0
+
+    def test_cold_fsdax_pays_quarter_second_per_gib(self):
+        # §2.3: pre-faulting 1 GB takes at least 0.25 s at 0.5 ms / 2 MB.
+        region = MappedRegion(size=GIB, dax_mode=DaxMode.FSDAX)
+        assert region.fault_cost(0.5e-3) == pytest.approx(0.256, rel=0.01)
+
+    def test_page_count(self):
+        region = MappedRegion(size=GIB, dax_mode=DaxMode.FSDAX)
+        assert region.pages == 512
+
+    def test_rejects_empty_region(self):
+        with pytest.raises(ConfigurationError):
+            MappedRegion(size=0)
+
+
+class TestFsdaxFactor:
+    def test_devdax_advantage_band(self):
+        # devdax is 5-10% faster => fsdax factor between 1/1.10 and 1/1.05.
+        factor = fsdax_bandwidth_factor(0.075)
+        assert 1 / 1.10 < factor < 1 / 1.05
+
+    def test_zero_advantage_is_identity(self):
+        assert fsdax_bandwidth_factor(0.0) == 1.0
+
+    def test_negative_advantage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fsdax_bandwidth_factor(-0.1)

@@ -1,0 +1,49 @@
+"""Tests for the bandwidth module's public helpers."""
+
+import math
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsim.bandwidth import (
+    effective_threads,
+    is_finite_bandwidth,
+    ssd_scan_bandwidth,
+)
+from repro.memsim.calibration import paper_calibration
+
+
+class TestEffectiveThreads:
+    def test_below_core_count_is_identity(self):
+        assert effective_threads(8, 18) == 8
+
+    def test_hyperthreads_yield_quarter(self):
+        assert effective_threads(36, 18) == pytest.approx(22.5)
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            effective_threads(0, 18)
+        with pytest.raises(WorkloadError):
+            effective_threads(4, 0)
+
+
+class TestSsdBandwidth:
+    def test_matches_calibration(self):
+        cal = paper_calibration()
+        assert ssd_scan_bandwidth(cal) == cal.ssd.seq_read_max
+
+    def test_footnote_value(self):
+        # §6.2 footnote: Intel DC P4610, 3.20 GB/s sequential read.
+        assert ssd_scan_bandwidth(paper_calibration()) == pytest.approx(3.2)
+
+
+class TestFiniteBandwidthGuard:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, True),
+        (40.0, True),
+        (-1.0, False),
+        (math.inf, False),
+        (math.nan, False),
+    ])
+    def test_cases(self, value, expected):
+        assert is_finite_bandwidth(value) is expected

@@ -1,0 +1,112 @@
+"""Tests for the write-combining and read-buffer models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsim.buffers import ReadBufferModel, WriteCombiningModel
+from repro.memsim.calibration import paper_calibration
+
+
+@pytest.fixture(scope="module")
+def pmem():
+    return paper_calibration().pmem
+
+
+@pytest.fixture(scope="module")
+def wc(pmem):
+    return WriteCombiningModel(pmem)
+
+
+@pytest.fixture(scope="module")
+def rb(pmem):
+    return ReadBufferModel(pmem)
+
+
+class TestWriteCombiningEfficiency:
+    def test_safe_thread_counts_are_ideal(self, wc):
+        # Fig. 8: 4-6 threads hold peak bandwidth out to 32 MB accesses.
+        for size in (4096, 65536, 32 * 1024 * 1024):
+            assert wc.efficiency(4, size) == 1.0
+            assert wc.efficiency(6, size) == 1.0
+
+    def test_small_accesses_are_safe_at_any_thread_count(self, wc):
+        # The 256 B secondary peak: 18+ threads keep combining for small
+        # strictly-sequential writes.
+        for threads in (8, 18, 36):
+            assert wc.efficiency(threads, 256) == 1.0
+
+    def test_boomerang_needs_both_axes(self, wc):
+        # Scaling only threads (small size) or only size (few threads)
+        # preserves efficiency; scaling both collapses it.
+        assert wc.efficiency(36, 256) == 1.0
+        assert wc.efficiency(4, 1 << 25) == 1.0
+        assert wc.efficiency(36, 1 << 25) < 0.5
+
+    def test_efficiency_monotone_in_threads(self, wc):
+        effs = [wc.efficiency(t, 16384) for t in (6, 8, 12, 18, 24, 36)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_efficiency_monotone_in_size(self, wc):
+        effs = [wc.efficiency(18, s) for s in (1024, 4096, 16384, 65536)]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))
+
+    def test_floor_holds(self, wc, pmem):
+        # Large-access high-thread writes stabilise around 5-6 GB/s
+        # (§4.2) => efficiency floors at wc_floor, never at zero.
+        assert wc.efficiency(36, 1 << 30) == pytest.approx(pmem.wc_floor)
+
+    def test_disabled_combining_degrades_to_cacheline_rmw(self, pmem):
+        off = WriteCombiningModel(pmem, enabled=False)
+        assert off.efficiency(1, 4096) == pytest.approx(64 / 256)
+
+    def test_invalid_inputs(self, wc):
+        with pytest.raises(WorkloadError):
+            wc.efficiency(0, 4096)
+        with pytest.raises(WorkloadError):
+            wc.efficiency(4, 0)
+
+
+class TestGroupedSmallWrites:
+    def test_full_line_writes_unpenalised(self, wc):
+        assert wc.grouped_small_write_factor(256) == 1.0
+        assert wc.grouped_small_write_factor(4096) == 1.0
+
+    def test_sub_line_grouped_writes_penalised(self, wc):
+        assert wc.grouped_small_write_factor(64) < 0.5
+
+    def test_partial_cross_thread_combining_floor(self, wc):
+        # 64 B grouped achieves ~27% of the individual bandwidth — more
+        # than the naive 64/256, because some cross-thread combining works.
+        assert wc.grouped_small_write_factor(64) >= 0.45
+
+
+class TestWriteAmplification:
+    def test_ideal_case_has_no_amplification(self, wc):
+        assert wc.write_amplification(4, 4096, grouped=False) == pytest.approx(1.0)
+
+    def test_pressure_amplifies(self, wc):
+        assert wc.write_amplification(18, 16384, grouped=False) > 1.5
+
+    def test_grouped_sub_line_amplifies_by_rmw(self, wc):
+        # A 64 B grouped store still moves a 256 B media line.
+        assert wc.write_amplification(1, 64, grouped=True) == pytest.approx(4.0)
+
+
+class TestReadBuffer:
+    def test_sequential_reads_never_amplify(self, rb):
+        # §3.1: consecutive sub-line reads are served from the buffered
+        # 256 B line.
+        for size in (64, 128, 256, 4096):
+            assert rb.sequential_amplification(size) == 1.0
+
+    def test_random_sub_line_reads_amplify(self, rb):
+        assert rb.random_amplification(64) == pytest.approx(4.0)
+        assert rb.random_amplification(128) == pytest.approx(2.0)
+
+    def test_random_line_sized_reads_do_not_amplify(self, rb):
+        assert rb.random_amplification(256) == 1.0
+        assert rb.random_amplification(4096) == 1.0
+
+    def test_invalid_size(self, rb):
+        with pytest.raises(WorkloadError):
+            rb.random_amplification(0)

@@ -1,0 +1,51 @@
+"""Tests for the VTune-substitute performance counters."""
+
+import pytest
+
+from repro.memsim.counters import PerfCounters
+
+
+class TestAmplification:
+    def test_defaults_to_one(self):
+        counters = PerfCounters()
+        assert counters.read_amplification == 1.0
+        assert counters.write_amplification == 1.0
+
+    def test_read_amplification(self):
+        counters = PerfCounters(app_bytes_read=100.0, media_bytes_read=400.0)
+        assert counters.read_amplification == pytest.approx(4.0)
+
+    def test_write_amplification(self):
+        counters = PerfCounters(app_bytes_written=10.0, media_bytes_written=100.0)
+        assert counters.write_amplification == pytest.approx(10.0)
+
+
+class TestMerge:
+    def test_bytes_add(self):
+        a = PerfCounters(app_bytes_read=10, upi_bytes=5)
+        b = PerfCounters(app_bytes_read=20, upi_bytes=1)
+        merged = a.merge(b)
+        assert merged.app_bytes_read == 30
+        assert merged.upi_bytes == 6
+
+    def test_peaks_take_max(self):
+        a = PerfCounters(upi_utilization=0.4, rpq_occupancy=0.9)
+        b = PerfCounters(upi_utilization=0.9, rpq_occupancy=0.1)
+        merged = a.merge(b)
+        assert merged.upi_utilization == 0.9
+        assert merged.rpq_occupancy == 0.9
+
+    def test_notes_concatenate(self):
+        a = PerfCounters()
+        a.note("first")
+        b = PerfCounters()
+        b.note("second")
+        merged = a.merge(b)
+        assert merged.notes == ["first", "second"]
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = PerfCounters(app_bytes_read=10)
+        b = PerfCounters(app_bytes_read=20)
+        a.merge(b)
+        assert a.app_bytes_read == 10
+        assert b.app_bytes_read == 20

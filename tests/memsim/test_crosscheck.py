@@ -1,0 +1,84 @@
+"""Tests for the analytic-vs-DES cross-validation harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memsim.crosscheck import (
+    DEFAULT_ANCHORS,
+    AnchorConfig,
+    AnchorOutcome,
+    CrossCheckReport,
+    cross_check,
+)
+from repro.memsim.spec import Layout, Op
+
+#: The one documented divergence: the replay has no write-side DIMM
+#: window-clustering penalty, so grouped sub-line writes land near the
+#: pure RMW bound instead of the paper's measured collapse (the analytic
+#: model owns that effect). See EXPERIMENTS.md "Known deviations".
+KNOWN_DIVERGENT = {"write 36T 64B grouped"}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return cross_check()
+
+
+class TestAgreement:
+    def test_all_undocumented_anchors_agree(self, report):
+        for outcome in report.outcomes:
+            if outcome.anchor.label in KNOWN_DIVERGENT:
+                continue
+            assert outcome.agrees, (
+                f"{outcome.anchor.label}: analytic {outcome.analytic_gbps:.2f} "
+                f"vs engine {outcome.engine_gbps:.2f}"
+            )
+
+    def test_most_anchors_within_ten_percent(self, report):
+        tight = [
+            o for o in report.outcomes
+            if o.anchor.label not in KNOWN_DIVERGENT and o.relative_error < 0.10
+        ]
+        assert len(tight) >= 0.8 * (len(report.outcomes) - len(KNOWN_DIVERGENT))
+
+    def test_known_divergence_is_flagged_not_hidden(self, report):
+        divergent = [o for o in report.outcomes if not o.agrees]
+        assert {o.anchor.label for o in divergent} == KNOWN_DIVERGENT
+
+    def test_describe_marks_divergence(self, report):
+        text = report.describe()
+        assert "DIVERGES" in text
+        assert "worst:" in text
+
+
+class TestHarness:
+    def test_custom_anchor_set(self):
+        anchors = (AnchorConfig("one", Op.READ, 4, 4096),)
+        report = cross_check(anchors)
+        assert len(report.outcomes) == 1
+        assert report.all_agree
+
+    def test_empty_anchor_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cross_check(())
+
+    def test_empty_report_worst_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = CrossCheckReport().worst
+
+    def test_outcome_relative_error(self):
+        outcome = AnchorOutcome(
+            anchor=AnchorConfig("x", Op.READ, 1, 4096, tolerance=0.1),
+            analytic_gbps=10.0,
+            engine_gbps=10.5,
+        )
+        assert outcome.relative_error == pytest.approx(0.05)
+        assert outcome.agrees
+
+    def test_default_anchor_coverage(self):
+        # The anchor set must cover both ops, both layouts, and random.
+        ops = {a.op for a in DEFAULT_ANCHORS}
+        layouts = {a.layout for a in DEFAULT_ANCHORS}
+        assert ops == {Op.READ, Op.WRITE}
+        assert Layout.GROUPED in layouts
+        assert any(a.pattern.value == "random" for a in DEFAULT_ANCHORS)

@@ -1,0 +1,44 @@
+"""Tests for the iMC queue model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsim.imc import ImcModel
+
+
+@pytest.fixture(scope="module")
+def imc():
+    return ImcModel()
+
+
+class TestOccupancy:
+    def test_idle_queue_is_empty(self, imc):
+        assert imc.occupancy(0.0, 10.0) == 0.0
+
+    def test_saturated_queue_is_full(self, imc):
+        assert imc.occupancy(10.0, 10.0) == 1.0
+        assert imc.occupancy(50.0, 10.0) == 1.0
+
+    def test_monotone_in_offered_load(self, imc):
+        values = [imc.occupancy(x, 10.0) for x in (1.0, 3.0, 6.0, 9.0, 9.9)]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_bounded(self, imc):
+        for x in (0.5, 5.0, 9.99):
+            assert 0.0 <= imc.occupancy(x, 10.0) <= 1.0
+
+    def test_rejects_bad_service_rate(self, imc):
+        with pytest.raises(WorkloadError):
+            imc.occupancy(1.0, 0.0)
+
+    def test_rejects_negative_load(self, imc):
+        with pytest.raises(WorkloadError):
+            imc.occupancy(-1.0, 10.0)
+
+
+class TestPollutionParameters:
+    def test_cross_socket_amplification_above_one(self, imc):
+        assert imc.cross_socket_read_amplification > 1.0
+
+    def test_far_far_pollution_below_one(self, imc):
+        assert 0.0 < imc.far_far_pollution_factor < 1.0

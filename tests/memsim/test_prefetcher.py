@@ -1,0 +1,89 @@
+"""Tests for the L2 hardware prefetcher model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsim.calibration import paper_calibration
+from repro.memsim.prefetcher import PrefetcherModel
+
+
+@pytest.fixture(scope="module")
+def cpu():
+    return paper_calibration().cpu
+
+
+@pytest.fixture(scope="module")
+def enabled(cpu):
+    return PrefetcherModel(cpu, enabled=True)
+
+
+@pytest.fixture(scope="module")
+def disabled(cpu):
+    return PrefetcherModel(cpu, enabled=False)
+
+
+class TestGroupedDip:
+    def test_dip_covers_1k_and_2k(self, enabled):
+        # §3.1: "the L2 hardware prefetcher performs poorly for 1 and
+        # 2 KB access".
+        assert enabled.grouped_sequential_factor(1024) < 1.0
+        assert enabled.grouped_sequential_factor(2048) < 1.0
+
+    def test_no_dip_outside_band(self, enabled):
+        for size in (64, 256, 512, 4096, 65536):
+            assert enabled.grouped_sequential_factor(size) == 1.0
+
+    def test_disabling_prefetcher_removes_dip(self, disabled):
+        # §3.1: with the prefetcher off the curve is constant above 256 B.
+        assert disabled.grouped_sequential_factor(1024) == 1.0
+        assert disabled.grouped_sequential_factor(2048) == 1.0
+
+    def test_invalid_size(self, enabled):
+        with pytest.raises(WorkloadError):
+            enabled.grouped_sequential_factor(0)
+
+
+class TestThreadScaling:
+    def test_no_penalty_at_or_below_core_count(self, enabled):
+        for threads in (1, 8, 18):
+            assert enabled.thread_scaling_factor(threads, 18) == 1.0
+
+    def test_imbalanced_hyperthreading_is_worst(self, enabled):
+        # Fig. 4: 24 threads sit below the 18-thread peak while 36
+        # (fully balanced pairs) recover it.
+        f24 = enabled.thread_scaling_factor(24, 18)
+        f36 = enabled.thread_scaling_factor(36, 18)
+        assert f24 < f36
+        assert f36 == pytest.approx(1.0)
+
+    def test_disabled_prefetcher_hurts_low_thread_counts(self, disabled):
+        # §3.2: "lower thread counts (<8) perform worse" without it.
+        assert disabled.thread_scaling_factor(4, 18) < 1.0
+        assert disabled.thread_scaling_factor(18, 18) == 1.0
+
+    def test_disabled_prefetcher_stops_polluting_hyperthreads(self, disabled):
+        # §3.2: with the prefetcher off, 36 threads reach the peak.
+        assert disabled.thread_scaling_factor(36, 18) == 1.0
+
+    def test_invalid_inputs(self, enabled):
+        with pytest.raises(WorkloadError):
+            enabled.thread_scaling_factor(0, 18)
+        with pytest.raises(WorkloadError):
+            enabled.thread_scaling_factor(4, 0)
+
+
+class TestMultiStream:
+    def test_single_stream_is_free(self, enabled):
+        assert enabled.multi_stream_factor(1) == 1.0
+
+    def test_second_stream_costs_a_little(self, enabled):
+        # §5.1: one extra read stream drops 30-thread reads from ~31 to
+        # ~29 GB/s (a few percent).
+        factor = enabled.multi_stream_factor(2)
+        assert 0.90 < factor < 1.0
+
+    def test_floor(self, enabled):
+        assert enabled.multi_stream_factor(100) == pytest.approx(0.80)
+
+    def test_disabled_prefetcher_has_no_multi_stream_cost(self, disabled):
+        assert disabled.multi_stream_factor(5) == 1.0

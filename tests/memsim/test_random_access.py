@@ -1,0 +1,116 @@
+"""Random-access bandwidth tests (paper §5.2 / Figures 12-13)."""
+
+import pytest
+
+from repro.memsim import BandwidthModel, MediaKind
+from repro.units import GIB
+
+
+@pytest.fixture
+def model():
+    return BandwidthModel()
+
+
+class TestFig12RandomReads:
+    def test_pmem_tops_out_at_two_thirds_sequential(self, model):
+        seq = model.sequential_read(18, 4096)
+        rand = max(
+            model.random_read(t, 8192) for t in (8, 18, 24, 36)
+        )
+        assert 0.55 < rand / seq < 0.75
+
+    def test_pmem_256b_about_half_sequential(self, model):
+        seq = model.sequential_read(36, 4096)
+        rand = model.random_read(36, 256)
+        assert 0.3 < rand / seq < 0.6
+
+    def test_more_threads_help_random_reads(self, model):
+        values = [model.random_read(t, 256) for t in (1, 4, 8, 18, 24, 36)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_hyperthreading_helps_random_unlike_sequential(self, model):
+        # §5.2: "hyperthreading improves the PMEM bandwidth, unlike
+        # sequential reads".
+        assert model.random_read(36, 256) > model.random_read(18, 256)
+        assert model.sequential_read(36, 4096) <= model.sequential_read(18, 4096) * 1.01
+
+    def test_bandwidth_monotone_in_access_size(self, model):
+        values = [model.random_read(36, s) for s in (64, 256, 1024, 4096, 8192)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_sub_line_amplification_hurts(self, model):
+        # 64 B random reads pay the 256 B media line.
+        assert model.random_read(36, 64) < 0.5 * model.random_read(36, 256)
+
+
+class TestFig12DramRegionEffect:
+    def test_small_region_uses_half_channels(self, model):
+        small = model.random_read(36, 512, media=MediaKind.DRAM, region_bytes=2 * GIB)
+        large = model.random_read(36, 512, media=MediaKind.DRAM, region_bytes=90 * GIB)
+        assert large > 1.5 * small
+
+    def test_large_region_reaches_90_percent_of_sequential(self, model):
+        seq = model.sequential_read(18, 4096, media=MediaKind.DRAM)
+        rand = model.random_read(36, 8192, media=MediaKind.DRAM, region_bytes=90 * GIB)
+        assert rand / seq == pytest.approx(0.9, rel=0.06)
+
+    def test_dram_4x_over_pmem_at_512b_large_region(self, model):
+        # §5.2: large-region DRAM shows "4x bandwidth over PMEM for 512
+        # Byte".
+        dram = model.random_read(36, 512, media=MediaKind.DRAM, region_bytes=90 * GIB)
+        pmem = model.random_read(36, 512)
+        assert 2.5 < dram / pmem < 5.5
+
+    def test_pmem_is_region_size_independent(self, model):
+        # PMEM is interleaved at 4 KB regardless of allocation size.
+        small = model.random_read(36, 512, region_bytes=2 * GIB)
+        large = model.random_read(36, 512, region_bytes=90 * GIB)
+        assert small == pytest.approx(large)
+
+
+class TestFig13RandomWrites:
+    def test_pmem_peak_with_4_to_6_threads(self, model):
+        curve = {t: model.random_write(t, 4096) for t in (1, 2, 4, 6, 8, 18, 36)}
+        best = max(curve, key=curve.get)
+        assert best in (4, 6)
+
+    def test_pmem_tops_out_at_two_thirds_sequential(self, model):
+        seq = max(model.sequential_write(t, 4096) for t in (4, 6))
+        rand = max(model.random_write(t, 8192) for t in (4, 6))
+        assert 0.5 < rand / seq < 0.8
+
+    def test_larger_access_improves_pmem_random_writes(self, model):
+        values = [model.random_write(6, s) for s in (64, 256, 1024, 4096)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_many_threads_hurt_pmem_random_writes(self, model):
+        assert model.random_write(36, 4096) < model.random_write(6, 4096)
+
+    def test_dram_random_writes_scale_with_threads(self, model):
+        values = [
+            model.random_write(t, 1024, media=MediaKind.DRAM) for t in (1, 8, 18, 36)
+        ]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_dram_insensitive_to_access_size_beyond_1k(self, model):
+        b1k = model.random_write(36, 1024, media=MediaKind.DRAM)
+        b8k = model.random_write(36, 8192, media=MediaKind.DRAM)
+        assert b8k <= 1.35 * b1k
+
+
+class TestInsight12:
+    def test_sequential_beats_random_everywhere(self, model):
+        # Insight #12: access PMEM sequentially when possible.
+        for threads in (8, 18, 36):
+            assert model.sequential_read(threads, 4096) > model.random_read(
+                threads, 4096
+            )
+        for threads in (4, 6):
+            assert model.sequential_write(threads, 4096) > model.random_write(
+                threads, 4096
+            )
+
+    def test_use_largest_possible_random_access(self, model):
+        # Insight #12: the largest access wins for random workloads.
+        assert model.random_read(36, 4096) > model.random_read(36, 256)
+        assert model.random_read(36, 256) >= model.random_read(36, 64)

@@ -1,0 +1,69 @@
+"""Tests for the OS scheduler / pinning model."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsim.calibration import paper_calibration
+from repro.memsim.scheduler import PinningPolicy, SchedulerModel
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return SchedulerModel(paper_calibration().cpu)
+
+
+class TestPlacement:
+    def test_no_hyperthreads_below_core_count(self, scheduler):
+        placement = scheduler.placement(18, 18)
+        assert placement.hyperthreaded == 0
+        assert placement.effective_issue_threads == 18
+
+    def test_hyperthreads_contribute_fractionally(self, scheduler):
+        placement = scheduler.placement(36, 18)
+        assert placement.hyperthreaded == 18
+        # 18 physical + 18 * 0.25 hyperthread yield.
+        assert placement.effective_issue_threads == pytest.approx(22.5)
+
+    def test_invalid(self, scheduler):
+        with pytest.raises(WorkloadError):
+            scheduler.placement(0, 18)
+
+
+class TestPinnedFactors:
+    def test_cores_is_reference(self, scheduler):
+        assert scheduler.pinned_factor(PinningPolicy.CORES, 36, 18, write=False) == 1.0
+        assert scheduler.pinned_factor(PinningPolicy.CORES, 36, 18, write=True) == 1.0
+
+    def test_numa_matches_cores_below_core_count(self, scheduler):
+        # Fig. 4: identical bandwidth for <=18 threads.
+        factor = scheduler.pinned_factor(PinningPolicy.NUMA_REGION, 18, 18, write=False)
+        assert factor == 1.0
+
+    def test_numa_costs_beyond_core_count(self, scheduler):
+        factor = scheduler.pinned_factor(PinningPolicy.NUMA_REGION, 36, 18, write=False)
+        assert 0.9 < factor < 1.0
+
+    def test_numa_write_penalty_from_imc_crossing(self, scheduler):
+        read = scheduler.pinned_factor(PinningPolicy.NUMA_REGION, 8, 18, write=False)
+        write = scheduler.pinned_factor(PinningPolicy.NUMA_REGION, 8, 18, write=True)
+        assert write < read
+
+    def test_none_policy_rejected_here(self, scheduler):
+        with pytest.raises(WorkloadError):
+            scheduler.pinned_factor(PinningPolicy.NONE, 8, 18, write=False)
+
+
+class TestUnpinned:
+    def test_read_envelope_tracks_cold_far(self, scheduler):
+        # Fig. 4: unpinned reads peak near ~9 GB/s, just above the ~8 GB/s
+        # cold-far ceiling.
+        envelope = scheduler.unpinned_read_envelope(8.0)
+        assert 8.0 < envelope < 10.0
+
+    def test_write_factor_roughly_halves(self, scheduler):
+        # Fig. 9: "no pinning is 2x worse for writing".
+        assert scheduler.unpinned_write_factor() == pytest.approx(0.55)
+
+    def test_envelope_rejects_bad_cap(self, scheduler):
+        with pytest.raises(WorkloadError):
+            scheduler.unpinned_read_envelope(0.0)

@@ -1,0 +1,149 @@
+"""Tests for the hardware topology model."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.memsim.topology import (
+    MediaKind,
+    UpiLink,
+    build_topology,
+    paper_server,
+)
+from repro.units import GIB
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return paper_server()
+
+
+class TestPaperServer:
+    def test_two_sockets(self, topo):
+        assert topo.socket_count == 2
+
+    def test_cores_per_socket(self, topo):
+        assert topo.physical_core_count(0) == 18
+        assert len(topo.logical_cores(0)) == 36
+
+    def test_total_logical_cores(self, topo):
+        assert len(topo.cores) == 72
+
+    def test_numa_nodes(self, topo):
+        assert len(topo.nodes) == 4
+        assert all(len(n.core_ids) == 18 for n in topo.nodes)  # 9 phys + 9 HT
+
+    def test_imcs(self, topo):
+        assert len(topo.imcs) == 4
+
+    def test_dimm_counts(self, topo):
+        assert len(topo.dimms_of(0, MediaKind.PMEM)) == 6
+        assert len(topo.dimms_of(0, MediaKind.DRAM)) == 6
+        assert len(topo.dimms) == 24
+
+    def test_pmem_capacity_is_1_5_tb(self, topo):
+        assert topo.capacity(MediaKind.PMEM) == 12 * 128 * GIB
+
+    def test_dram_capacity_is_192_gib(self, topo):
+        assert topo.capacity(MediaKind.DRAM) == 12 * 16 * GIB
+
+    def test_socket_capacity(self, topo):
+        assert topo.socket_capacity(0, MediaKind.PMEM) == 6 * 128 * GIB
+
+    def test_interleave_ways(self, topo):
+        assert topo.interleave_ways(0, MediaKind.PMEM) == 6
+        assert topo.interleave_ways(1, MediaKind.DRAM) == 6
+
+    def test_far_socket(self, topo):
+        assert topo.far_socket(0).socket_id == 1
+        assert topo.far_socket(1).socket_id == 0
+
+    def test_upi_link_exists(self, topo):
+        link = topo.upi_between(0, 1)
+        assert link.connects(0) and link.connects(1)
+
+    def test_hyperthread_siblings_are_symmetric(self, topo):
+        for core in topo.cores:
+            sibling = topo.core(core.sibling_id)
+            assert sibling.sibling_id == core.core_id
+            assert sibling.is_hyperthread != core.is_hyperthread
+            assert sibling.node_id == core.node_id
+
+    def test_describe_mentions_both_sockets(self, topo):
+        text = topo.describe()
+        assert "socket 0" in text and "socket 1" in text
+
+
+class TestLookupErrors:
+    def test_unknown_socket(self, topo):
+        with pytest.raises(TopologyError):
+            topo.socket(9)
+
+    def test_unknown_node(self, topo):
+        with pytest.raises(TopologyError):
+            topo.node(99)
+
+    def test_unknown_core(self, topo):
+        with pytest.raises(TopologyError):
+            topo.core(1000)
+
+    def test_unknown_upi_pair(self):
+        single = build_topology(sockets=1)
+        with pytest.raises(TopologyError):
+            single.upi_between(0, 1)
+
+    def test_far_socket_undefined_for_single_socket(self):
+        single = build_topology(sockets=1)
+        with pytest.raises(TopologyError):
+            single.far_socket(0)
+
+
+class TestBuildTopology:
+    def test_single_socket(self):
+        topo = build_topology(sockets=1)
+        assert topo.socket_count == 1
+        assert not topo.upi_links
+
+    def test_four_socket_has_all_pairwise_links(self):
+        topo = build_topology(sockets=4)
+        assert len(topo.upi_links) == 6
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(TopologyError):
+            build_topology(sockets=0)
+
+    def test_rejects_uneven_core_split(self):
+        with pytest.raises(TopologyError):
+            build_topology(physical_cores_per_socket=19)
+
+    def test_rejects_node_imc_mismatch(self):
+        with pytest.raises(TopologyError):
+            build_topology(numa_nodes_per_socket=3, imcs_per_socket=2)
+
+    def test_custom_capacity(self):
+        topo = build_topology(pmem_dimm_capacity=256 * GIB)
+        assert topo.capacity(MediaKind.PMEM) == 12 * 256 * GIB
+
+
+class TestValidation:
+    def test_validate_rejects_asymmetric_siblings(self):
+        topo = paper_server()
+        cores = list(topo.cores)
+        broken = dataclasses.replace(cores[0], sibling_id=cores[0].core_id)
+        cores[0] = broken
+        bad = dataclasses.replace(topo, cores=tuple(cores))
+        with pytest.raises(TopologyError):
+            bad.validate()
+
+    def test_validate_rejects_upi_self_loop(self):
+        topo = paper_server()
+        bad = dataclasses.replace(topo, upi_links=(UpiLink(0, 0),))
+        with pytest.raises(TopologyError):
+            bad.validate()
+
+    def test_validate_rejects_missing_upi(self):
+        topo = paper_server()
+        bad = dataclasses.replace(topo, upi_links=())
+        with pytest.raises(TopologyError):
+            bad.validate()

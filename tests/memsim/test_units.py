@@ -1,0 +1,63 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro.units import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    fmt_bytes,
+    gbps,
+    gib,
+    kib,
+    mib,
+    seconds_for,
+)
+
+
+class TestConstants:
+    def test_binary_multiples(self):
+        assert KIB == 1024
+        assert MIB == 1024 * 1024
+        assert GIB == 1024**3
+
+    def test_decimal_gigabyte(self):
+        assert GB == 10**9
+
+    def test_gib_mib_kib_helpers(self):
+        assert gib(2) == 2 * GIB
+        assert mib(1.5) == int(1.5 * MIB)
+        assert kib(4) == 4096
+
+
+class TestBandwidthConversions:
+    def test_gbps_round_trip(self):
+        # 40 GB in one second is 40 GB/s.
+        assert gbps(40 * GB, 1.0) == pytest.approx(40.0)
+
+    def test_seconds_for(self):
+        assert seconds_for(40 * GB, 40.0) == pytest.approx(1.0)
+
+    def test_seconds_for_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            seconds_for(1, 0.0)
+
+    def test_seconds_for_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            seconds_for(1, -1.0)
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (64, "64B"),
+            (4096, "4.0KiB"),
+            (MIB, "1.0MiB"),
+            (70 * GIB, "70.0GiB"),
+            (2 * 1024**4, "2.0TiB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected

@@ -1,0 +1,150 @@
+"""Tests for the SSB data generator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.ssb import schema
+from repro.ssb.dbgen import SsbDatabase, Table, generate, generate_date
+
+
+@pytest.fixture(scope="module")
+def db() -> SsbDatabase:
+    return generate(scale_factor=0.02, seed=7)
+
+
+class TestDateDimension:
+    def test_2556_rows(self):
+        assert generate_date().n_rows == schema.DATE_ROWS
+
+    def test_seven_years(self):
+        date = generate_date()
+        years = np.unique(date["d_year"])
+        assert years.min() == 1992 and years.max() == 1998
+
+    def test_datekey_format(self):
+        date = generate_date()
+        assert date["d_datekey"][0] == 19920101
+        assert 19920101 <= int(date["d_datekey"].max()) <= 19981231
+
+    def test_yearmonthnum(self):
+        date = generate_date()
+        assert np.all(date["d_yearmonthnum"] == date["d_datekey"] // 100)
+
+    def test_datekeys_unique_and_sorted(self):
+        keys = generate_date()["d_datekey"]
+        assert len(np.unique(keys)) == len(keys)
+        assert np.all(np.diff(keys) > 0)
+
+    def test_week_numbers_in_range(self):
+        date = generate_date()
+        assert date["d_weeknuminyear"].min() >= 1
+        assert date["d_weeknuminyear"].max() <= 53
+
+
+class TestDimensions:
+    def test_cardinalities(self, db):
+        assert db.customer.n_rows == schema.customer_rows(0.02)
+        assert db.supplier.n_rows == schema.supplier_rows(0.02)
+        assert db.part.n_rows == schema.part_rows(0.02)
+
+    def test_keys_dense_one_based(self, db):
+        assert db.customer["c_custkey"][0] == 1
+        assert db.customer["c_custkey"][-1] == db.customer.n_rows
+
+    def test_region_consistent_with_nation(self, db):
+        assert np.all(db.customer["c_region"] == db.customer["c_nation"] // 5)
+        assert np.all(db.supplier["s_region"] == db.supplier["s_nation"] // 5)
+
+    def test_city_consistent_with_nation(self, db):
+        assert np.all(db.customer["c_city"] // 10 == db.customer["c_nation"])
+
+    def test_brand_consistent_with_category(self, db):
+        assert np.all(db.part["p_brand1"] // 40 == db.part["p_category"])
+
+    def test_category_consistent_with_mfgr(self, db):
+        assert np.all(db.part["p_category"] // 5 == db.part["p_mfgr"] - 1)
+
+
+class TestLineorder:
+    def test_cardinality(self, db):
+        assert db.lineorder.n_rows == schema.lineorder_rows(0.02)
+
+    def test_foreign_keys_in_range(self, db):
+        lo = db.lineorder
+        assert lo["lo_custkey"].min() >= 1
+        assert lo["lo_custkey"].max() <= db.customer.n_rows
+        assert lo["lo_suppkey"].max() <= db.supplier.n_rows
+        assert lo["lo_partkey"].max() <= db.part.n_rows
+
+    def test_orderdates_are_valid_datekeys(self, db):
+        valid = set(db.date["d_datekey"].tolist())
+        sample = db.lineorder["lo_orderdate"][:1000]
+        assert all(int(k) in valid for k in sample)
+
+    def test_discount_and_quantity_ranges(self, db):
+        lo = db.lineorder
+        assert lo["lo_discount"].min() >= 0 and lo["lo_discount"].max() <= 10
+        assert lo["lo_quantity"].min() >= 1 and lo["lo_quantity"].max() <= 50
+
+    def test_revenue_formula(self, db):
+        lo = db.lineorder
+        expected = (
+            lo["lo_extendedprice"].astype(np.int64)
+            * (100 - lo["lo_discount"].astype(np.int64))
+            // 100
+        )
+        assert np.array_equal(lo["lo_revenue"], expected.astype(np.int32))
+
+
+class TestDeterminismAndValidation:
+    def test_deterministic_for_seed(self):
+        a = generate(scale_factor=0.01, seed=3)
+        b = generate(scale_factor=0.01, seed=3)
+        assert np.array_equal(a.lineorder["lo_custkey"], b.lineorder["lo_custkey"])
+
+    def test_seeds_differ(self):
+        a = generate(scale_factor=0.01, seed=3)
+        b = generate(scale_factor=0.01, seed=4)
+        assert not np.array_equal(a.lineorder["lo_custkey"], b.lineorder["lo_custkey"])
+
+    def test_invalid_sf(self):
+        with pytest.raises(SchemaError):
+            generate(scale_factor=0)
+
+    def test_table_lookup(self, db):
+        assert db.table("part") is db.part
+        with pytest.raises(SchemaError):
+            db.table("orders")
+
+    def test_total_bytes_positive(self, db):
+        assert db.total_bytes > 0
+
+
+class TestTableContainer:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(
+                spec=schema.SUPPLIER,
+                columns={
+                    "s_suppkey": np.arange(3, dtype=np.int32),
+                    "s_city": np.zeros(2, dtype=np.int16),
+                    "s_nation": np.zeros(3, dtype=np.int8),
+                    "s_region": np.zeros(3, dtype=np.int8),
+                },
+            )
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(spec=schema.SUPPLIER, columns={"s_suppkey": np.arange(3)})
+
+    def test_take_by_mask(self, db):
+        mask = db.supplier["s_region"] == 0
+        subset = db.supplier.take(mask)
+        assert subset.n_rows == int(mask.sum())
+        assert np.all(subset["s_region"] == 0)
+
+    def test_column_bytes_subset(self, db):
+        all_bytes = db.customer.column_bytes()
+        key_bytes = db.customer.column_bytes(["c_custkey"])
+        assert 0 < key_bytes < all_bytes

@@ -1,0 +1,186 @@
+"""Engine correctness tests: every query checked against a brute-force
+numpy reference implementation, across both system profiles."""
+
+import numpy as np
+import pytest
+
+from repro.ssb.dbgen import generate
+from repro.ssb.engine import SsbExecutor
+from repro.ssb.queries import ALL_QUERIES, get_query
+from repro.ssb.storage import HANDCRAFTED_PMEM, HYRISE_PMEM
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(scale_factor=0.02, seed=5)
+
+
+@pytest.fixture(scope="module")
+def executor(db):
+    return SsbExecutor(db, HANDCRAFTED_PMEM)
+
+
+def brute_force(db, query):
+    """Reference implementation: dictionaries + per-row loop semantics,
+    vectorised with numpy for speed but structurally independent of the
+    engine under test."""
+    lo = db.lineorder
+    mask = np.ones(lo.n_rows, dtype=bool)
+    for predicate in query.fact_filters:
+        mask &= predicate.evaluate(lo[predicate.column])
+
+    payloads = {}
+    for join in query.joins:
+        dim = db.table(join.table)
+        dim_mask = np.ones(dim.n_rows, dtype=bool)
+        for predicate in join.filters:
+            dim_mask &= predicate.evaluate(dim[predicate.column])
+        keys = dim[join.dim_key]
+        # Dense 1-based keys for dims; date keys are sparse -> use a map.
+        lookup = np.full(int(keys.max()) + 1, -1, dtype=np.int64)
+        lookup[keys[dim_mask]] = np.nonzero(dim_mask)[0]
+        fk = lo[join.fact_key]
+        positions = np.where(
+            (fk >= 0) & (fk <= keys.max()), lookup[np.clip(fk, 0, keys.max())], -1
+        )
+        mask &= positions >= 0
+        payloads[join.table] = (join, positions)
+
+    rows = np.nonzero(mask)[0]
+    group_cols = []
+    for column in query.group_by:
+        for join, positions in payloads.values():
+            dim = db.table(join.table)
+            if column in dim.spec.column_names():
+                group_cols.append(dim[column][positions[rows]].astype(np.int64))
+                break
+        else:
+            raise AssertionError(f"column {column} not found")
+    measure = query.aggregate.compute(lo.take(rows))
+    if not group_cols:
+        return {(): int(measure.sum())} if len(rows) else {(): 0}
+    stacked = np.stack(group_cols, axis=1)
+    uniques, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    sums = np.zeros(len(uniques), dtype=np.int64)
+    np.add.at(sums, inverse, measure)
+    return {tuple(int(x) for x in key): int(v) for key, v in zip(uniques, sums)}
+
+
+class TestCorrectnessAgainstBruteForce:
+    @pytest.mark.parametrize("name", [q.name for q in ALL_QUERIES])
+    def test_query_matches_reference(self, db, executor, name):
+        query = get_query(name)
+        result = executor.execute(query)
+        expected = brute_force(db, query)
+        if not expected.get((), 1) and not result.groups:
+            return  # both empty
+        assert result.groups == expected
+
+    def test_profiles_agree(self, db):
+        aware = SsbExecutor(db, HANDCRAFTED_PMEM)
+        unaware = SsbExecutor(db, HYRISE_PMEM)
+        for query in ALL_QUERIES:
+            assert aware.execute(query).groups == unaware.execute(query).groups
+
+
+class TestResults:
+    def test_flight1_scalar(self, executor):
+        result = executor.execute(get_query("Q1.1"))
+        assert result.scalar > 0
+        assert result.n_groups == 1
+
+    def test_grouped_query_rejects_scalar(self, executor):
+        result = executor.execute(get_query("Q2.1"))
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            _ = result.scalar
+
+    def test_selectivity_ordering(self, executor):
+        # Within a flight, later queries are more selective (SSB design).
+        q21 = executor.execute(get_query("Q2.1")).qualifying_rows
+        q22 = executor.execute(get_query("Q2.2")).qualifying_rows
+        q23 = executor.execute(get_query("Q2.3")).qualifying_rows
+        assert q21 > q22 > q23
+
+    def test_group_keys_have_query_arity(self, executor):
+        result = executor.execute(get_query("Q3.1"))
+        assert all(len(key) == 3 for key in result.groups)
+
+    def test_q31_years_in_filter_range(self, executor):
+        result = executor.execute(get_query("Q3.1"))
+        years = {key[2] for key in result.groups}
+        assert years <= set(range(1992, 1998))
+
+
+class TestTrafficAccounting:
+    def test_every_query_records_fact_scan(self, executor):
+        for query in ALL_QUERIES:
+            traffic = executor.execute(query).traffic
+            assert traffic.operators[0].name == "fact-scan"
+            assert traffic.operators[0].seq_read_bytes > 0
+
+    def test_row128_scan_volume(self, db, executor):
+        traffic = executor.execute(get_query("Q1.1")).traffic
+        assert traffic.operators[0].seq_read_bytes == db.lineorder.n_rows * 128
+
+    def test_columnar_scan_is_smaller(self, db):
+        unaware = SsbExecutor(db, HYRISE_PMEM)
+        traffic = unaware.execute(get_query("Q1.1")).traffic
+        assert traffic.operators[0].seq_read_bytes < db.lineorder.n_rows * 128
+
+    def test_probe_traffic_granularity(self, db, executor):
+        traffic = executor.execute(get_query("Q2.1")).traffic
+        probes = [op for op in traffic.operators if op.name.startswith("probe(")]
+        assert probes
+        assert all(op.random_read_size == 256 for op in probes)  # Dash buckets
+
+    def test_unaware_probe_traffic_granularity(self, db):
+        unaware = SsbExecutor(db, HYRISE_PMEM)
+        traffic = unaware.execute(get_query("Q2.1")).traffic
+        probes = [op for op in traffic.operators if op.name.startswith("probe(")]
+        assert all(op.random_read_size == 64 for op in probes)  # chain nodes
+
+    def test_unaware_gathers_fact_columns(self, db):
+        unaware = SsbExecutor(db, HYRISE_PMEM)
+        traffic = unaware.execute(get_query("Q2.1")).traffic
+        gathers = [op for op in traffic.operators if op.name.startswith("fact-gather")]
+        assert gathers  # later join keys + measures are positional
+
+    def test_aware_does_not_gather(self, executor):
+        traffic = executor.execute(get_query("Q2.1")).traffic
+        assert not [
+            op for op in traffic.operators if op.name.startswith("fact-gather")
+        ]
+
+    def test_dash_build_charged_outside_queries(self, db):
+        executor = SsbExecutor(db, HANDCRAFTED_PMEM)
+        traffic = executor.execute(get_query("Q2.1")).traffic
+        assert not [op for op in traffic.operators if op.name.startswith("build-")]
+        assert executor.build_traffic.operators  # charged to the load phase
+
+    def test_chained_build_charged_to_query(self, db):
+        executor = SsbExecutor(db, HYRISE_PMEM)
+        traffic = executor.execute(get_query("Q2.1")).traffic
+        assert [op for op in traffic.operators if op.name.startswith("build-")]
+
+    def test_scaled_traffic_is_linear(self, executor):
+        traffic = executor.execute(get_query("Q2.1")).traffic
+        doubled = traffic.scaled(2.0)
+        assert doubled.seq_read_bytes == pytest.approx(2 * traffic.seq_read_bytes)
+        assert doubled.random_reads == pytest.approx(2 * traffic.random_reads)
+        assert doubled.cpu_tuples == pytest.approx(2 * traffic.cpu_tuples)
+
+    def test_region_factors_override_region_scaling(self, executor):
+        traffic = executor.execute(get_query("Q2.1")).traffic
+        scaled = traffic.scaled(1000.0, region_factors={"part": 7.0, "date": 1.0})
+        part_probe = next(
+            op for op in scaled.operators if op.name == "probe(part)"
+        )
+        original = next(
+            op for op in traffic.operators if op.name == "probe(part)"
+        )
+        assert part_probe.random_region_bytes == pytest.approx(
+            7.0 * original.random_region_bytes
+        )
+        assert part_probe.random_reads == pytest.approx(1000 * original.random_reads)

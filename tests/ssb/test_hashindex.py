@@ -1,0 +1,186 @@
+"""Tests for the Dash-like and chained hash indexes."""
+
+import numpy as np
+import pytest
+
+from repro.memsim.constants import CACHE_LINE, OPTANE_LINE
+from repro.ssb.hashindex import BUCKET_SLOTS, ChainedIndex, DashIndex
+
+
+@pytest.fixture
+def keys():
+    rng = np.random.default_rng(11)
+    return rng.choice(100_000, size=5_000, replace=False).astype(np.int64)
+
+
+class TestDashCorrectness:
+    def test_insert_get(self):
+        index = DashIndex()
+        index.insert(42, 7)
+        assert index.get(42) == 7
+        assert len(index) == 1
+
+    def test_overwrite(self):
+        index = DashIndex()
+        index.insert(42, 7)
+        index.insert(42, 9)
+        assert index.get(42) == 9
+        assert len(index) == 1
+
+    def test_missing_key_raises(self):
+        index = DashIndex()
+        with pytest.raises(KeyError):
+            index.get(123)
+
+    def test_missing_key_default(self):
+        index = DashIndex()
+        assert index.get(123, default=-1) == -1
+
+    def test_contains(self):
+        index = DashIndex()
+        index.insert(5, 50)
+        assert 5 in index
+        assert 6 not in index
+
+    def test_bulk_round_trip(self, keys):
+        index = DashIndex()
+        index.bulk_insert(keys, keys * 3)
+        out = index.bulk_probe(keys)
+        assert np.array_equal(out, keys * 3)
+
+    def test_bulk_probe_misses(self, keys):
+        index = DashIndex()
+        index.bulk_insert(keys, keys)
+        missing = np.arange(200_000, 200_100, dtype=np.int64)
+        out = index.bulk_probe(missing, missing=-7)
+        assert np.all(out == -7)
+
+    def test_scalar_and_bulk_agree(self, keys):
+        index = DashIndex()
+        index.bulk_insert(keys, keys + 1)
+        bulk = index.bulk_probe(keys[:100])
+        scalars = [index.get(int(k)) for k in keys[:100]]
+        assert bulk.tolist() == scalars
+
+    def test_splits_happen_and_preserve_contents(self, keys):
+        index = DashIndex(initial_depth=0)
+        index.bulk_insert(keys, keys)
+        assert index.segment_count > 1  # 5k keys overflow one segment
+        out = index.bulk_probe(keys)
+        assert np.array_equal(out, keys)
+
+    def test_negative_and_large_keys(self):
+        index = DashIndex()
+        for key in (-5, 0, 2**40):
+            index.insert(key, key % 97)
+            assert index.get(key) == key % 97
+
+
+class TestDashStructure:
+    def test_bucket_is_one_optane_line(self):
+        # 14 slots of fingerprint + key/value reference fit one 256 B line.
+        assert BUCKET_SLOTS == 14
+
+    def test_memory_counts_lines(self, keys):
+        index = DashIndex()
+        index.bulk_insert(keys, keys)
+        assert index.memory_bytes % OPTANE_LINE == 0
+        assert index.memory_bytes >= len(keys) / BUCKET_SLOTS * OPTANE_LINE
+
+    def test_probe_traffic_is_line_granular(self, keys):
+        index = DashIndex()
+        index.bulk_insert(keys, keys)
+        index.bulk_probe(keys[:1000])
+        assert index.stats.access_size == OPTANE_LINE
+        # A hit probe touches one or two buckets, misses add the stash.
+        assert 1.0 <= index.stats.reads_per_probe <= 3.0
+
+    def test_build_traffic_separate_from_probe(self, keys):
+        index = DashIndex()
+        index.bulk_insert(keys, keys)
+        assert index.stats.probes == 0
+        assert index.stats.bucket_writes >= len(keys)
+        before = index.stats.read_bytes
+        index.bulk_probe(keys[:10])
+        assert index.stats.read_bytes > before
+
+
+class TestChainedCorrectness:
+    def test_insert_get(self):
+        index = ChainedIndex()
+        index.insert(42, 7)
+        assert index.get(42) == 7
+
+    def test_missing_raises(self):
+        index = ChainedIndex()
+        with pytest.raises(KeyError):
+            index.get(1)
+
+    def test_bulk_round_trip(self, keys):
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys * 5)
+        out = index.bulk_probe(keys)
+        assert np.array_equal(out, keys * 5)
+
+    def test_bulk_probe_misses(self, keys):
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys)
+        out = index.bulk_probe(np.arange(500_000, 500_050, dtype=np.int64))
+        assert np.all(out == -1)
+
+    def test_scalar_and_bulk_agree(self, keys):
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys + 2)
+        bulk = index.bulk_probe(keys[:50])
+        scalars = [index.get(int(k)) for k in keys[:50]]
+        assert bulk.tolist() == scalars
+
+    def test_pool_grows(self):
+        index = ChainedIndex(expected_size=2)
+        for key in range(100):
+            index.insert(key, key)
+        assert len(index) == 100
+        assert index.get(99) == 99
+
+    def test_duplicate_keys_chain(self):
+        # Join-build semantics: duplicates coexist, newest first.
+        index = ChainedIndex()
+        index.insert(1, 10)
+        index.insert(1, 20)
+        assert index.get(1) == 20
+
+
+class TestChainedStructure:
+    def test_node_is_one_cache_line(self, keys):
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys)
+        assert index.stats.access_size == CACHE_LINE
+
+    def test_chain_walks_cost_dependent_reads(self, keys):
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys)
+        index.bulk_probe(keys)
+        assert index.stats.reads_per_probe >= 1.0
+
+    def test_average_chain_length_reasonable(self, keys):
+        index = ChainedIndex(expected_size=len(keys))
+        index.bulk_insert(keys, keys)
+        assert 1.0 <= index.average_chain_length < 3.0
+
+
+class TestDashVsChainedTrafficContrast:
+    """The core PMEM argument: Dash probes move one 256 B line where the
+    chain walks multiple dependent 64 B lines (each of which a PMEM
+    device amplifies to 256 B internally)."""
+
+    def test_dash_fewer_reads_per_probe_than_chain_hops(self, keys):
+        dash = DashIndex()
+        dash.bulk_insert(keys, keys)
+        chained = ChainedIndex(expected_size=len(keys))
+        chained.bulk_insert(keys, keys)
+        dash.bulk_probe(keys)
+        chained.bulk_probe(keys)
+        # Dash touches at most ~2 lines; chains average > 1 hop and each
+        # hop is a dependent access.
+        assert dash.stats.reads_per_probe <= 2.5
+        assert chained.stats.reads_per_probe >= 1.0

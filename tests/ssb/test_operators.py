@@ -1,0 +1,178 @@
+"""Unit tests for the engine's relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.ssb.dbgen import generate
+from repro.ssb.engine import operators
+from repro.ssb.queries import Predicate, PredicateOp
+from repro.ssb.storage import HANDCRAFTED_PMEM, HYRISE_PMEM
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate(scale_factor=0.01, seed=3)
+
+
+class TestFactScan:
+    def test_row128_reads_whole_tuples(self, db):
+        traffic = operators.fact_scan_traffic(
+            db.lineorder, ["lo_revenue"], HANDCRAFTED_PMEM
+        )
+        assert traffic.seq_read_bytes == db.lineorder.n_rows * 128
+
+    def test_columnar_reads_only_used_columns(self, db):
+        traffic = operators.fact_scan_traffic(
+            db.lineorder, ["lo_revenue", "lo_discount"], HYRISE_PMEM
+        )
+        expected = db.lineorder.column_bytes(["lo_revenue", "lo_discount"])
+        assert traffic.seq_read_bytes == expected
+
+    def test_cpu_charged_per_row(self, db):
+        traffic = operators.fact_scan_traffic(db.lineorder, [], HANDCRAFTED_PMEM)
+        assert traffic.cpu_tuples == db.lineorder.n_rows
+
+
+class TestFilterMask:
+    def test_empty_predicates_select_all(self, db):
+        mask = operators.filter_mask(db.lineorder, ())
+        assert mask.all()
+
+    def test_conjunction(self, db):
+        predicates = (
+            Predicate("lo_discount", PredicateOp.BETWEEN, (1, 3)),
+            Predicate("lo_quantity", PredicateOp.LT, 25),
+        )
+        mask = operators.filter_mask(db.lineorder, predicates)
+        lo = db.lineorder
+        expected = (
+            (lo["lo_discount"] >= 1) & (lo["lo_discount"] <= 3)
+            & (lo["lo_quantity"] < 25)
+        )
+        assert np.array_equal(mask, expected)
+
+
+class TestBuildIndex:
+    def test_dash_packs_attributes(self, db):
+        join_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", ("s_region",), HANDCRAFTED_PMEM
+        )
+        assert join_index.packed_attrs == ("s_region",)
+        assert join_index.build_traffic.random_write_bytes > 0
+
+    def test_chained_does_not_pack(self, db):
+        join_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", ("s_region",), HYRISE_PMEM
+        )
+        assert join_index.packed_attrs == ()
+
+    def test_region_tagged_with_table(self, db):
+        join_index = operators.build_dimension_index(
+            db.part, "p_partkey", (), HANDCRAFTED_PMEM
+        )
+        assert join_index.build_traffic.region_table == "part"
+
+
+class TestProbeDimension:
+    def test_packed_probe_needs_no_gather(self, db):
+        join_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", ("s_region",), HANDCRAFTED_PMEM
+        )
+        keys = db.lineorder["lo_suppkey"][:1000]
+        hit, attrs, records = operators.probe_dimension(
+            join_index, keys, db.supplier, ("s_region",)
+        )
+        assert hit.all()  # all FKs resolve
+        assert "s_region" in attrs
+        assert len(records) == 1  # probe only, no gather
+
+    def test_unpacked_probe_gathers(self, db):
+        join_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", (), HYRISE_PMEM
+        )
+        keys = db.lineorder["lo_suppkey"][:1000]
+        hit, attrs, records = operators.probe_dimension(
+            join_index, keys, db.supplier, ("s_region",)
+        )
+        assert hit.all()
+        names = [r.name for r in records]
+        assert any(n.startswith("gather(") for n in names)
+
+    def test_gathered_values_correct(self, db):
+        join_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", (), HYRISE_PMEM
+        )
+        keys = db.lineorder["lo_suppkey"][:500]
+        _, attrs, _ = operators.probe_dimension(
+            join_index, keys, db.supplier, ("s_region",)
+        )
+        expected = db.supplier["s_region"][keys - 1]  # keys are 1-based/dense
+        assert np.array_equal(attrs["s_region"], expected)
+
+    def test_packed_values_match_gathered(self, db):
+        packed_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", ("s_region",), HANDCRAFTED_PMEM
+        )
+        keys = db.lineorder["lo_suppkey"][:500]
+        _, packed_attrs, _ = operators.probe_dimension(
+            packed_index, keys, db.supplier, ("s_region",)
+        )
+        expected = db.supplier["s_region"][keys - 1].astype(np.int64)
+        assert np.array_equal(packed_attrs["s_region"], expected)
+
+    def test_missing_packed_attr_rejected(self, db):
+        join_index = operators.build_dimension_index(
+            db.supplier, "s_suppkey", ("s_region",), HANDCRAFTED_PMEM
+        )
+        keys = db.lineorder["lo_suppkey"][:10]
+        with pytest.raises(QueryError):
+            operators.probe_dimension(
+                join_index, keys, db.supplier, ("s_nation",)
+            )
+
+
+class TestGroupAggregate:
+    def test_empty_input(self):
+        result, traffic = operators.group_aggregate(
+            [], np.empty(0, dtype=np.int64), intermediate_width=12
+        )
+        assert result.n_groups == 0
+        assert traffic.cpu_tuples == 0
+
+    def test_scalar_aggregate(self):
+        measure = np.asarray([1, 2, 3], dtype=np.int64)
+        result, _ = operators.group_aggregate([], measure, intermediate_width=8)
+        assert result.as_dict() == {(): 6}
+
+    def test_grouped_sums(self):
+        keys = np.asarray([1, 2, 1, 2, 1])
+        measure = np.asarray([10, 20, 30, 40, 50], dtype=np.int64)
+        result, _ = operators.group_aggregate([keys], measure, intermediate_width=12)
+        assert result.as_dict() == {(1,): 90, (2,): 60}
+
+    def test_intermediate_materialisation_charged(self):
+        keys = np.arange(1000)
+        measure = np.ones(1000, dtype=np.int64)
+        _, traffic = operators.group_aggregate([keys], measure, intermediate_width=12)
+        assert traffic.seq_write_bytes == 12000
+        assert traffic.seq_read_bytes == 12000
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(QueryError):
+            operators.group_aggregate(
+                [np.arange(3)], np.ones(4, dtype=np.int64), intermediate_width=8
+            )
+
+
+class TestMaterializeAndGather:
+    def test_materialize_charges_both_directions(self):
+        traffic = operators.materialize_positions(1000, "x")
+        assert traffic.seq_write_bytes == 8000
+        assert traffic.seq_read_bytes == 8000
+
+    def test_fact_gather_is_random_into_fact_region(self):
+        traffic = operators.fact_gather(500, column_bytes=1e9, label="lo_revenue")
+        assert traffic.random_reads == 500
+        assert traffic.random_read_size == 64
+        assert traffic.region_table == "lineorder"

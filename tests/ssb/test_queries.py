@@ -1,0 +1,178 @@
+"""Tests for the declarative SSB query definitions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.ssb import schema
+from repro.ssb.queries import (
+    ALL_QUERIES,
+    Predicate,
+    PredicateOp,
+    brand,
+    category,
+    city,
+    flight,
+    get_query,
+    mfgr,
+    nation,
+    region,
+)
+
+
+class TestConstantTranslation:
+    def test_region(self):
+        assert region("AMERICA") == 1
+        with pytest.raises(QueryError):
+            region("ATLANTIS")
+
+    def test_nation(self):
+        assert schema.NATIONS[nation("UNITED STATES")] == "UNITED STATES"
+
+    def test_city(self):
+        code = city("UNITED KI5")
+        assert schema.NATIONS[code // 10] == "UNITED KINGDOM"
+        assert code % 10 == 5
+
+    def test_city_requires_digit(self):
+        with pytest.raises(QueryError):
+            city("UNITED KIX")
+
+    def test_brand(self):
+        assert schema.brand_name(brand("MFGR#2239")) == "MFGR#2239"
+        assert schema.brand_name(brand("MFGR#121")) == "MFGR#121"
+
+    def test_category(self):
+        assert schema.category_name(category("MFGR#12")) == "MFGR#12"
+        with pytest.raises(QueryError):
+            category("MFGR#99")
+
+    def test_mfgr(self):
+        assert mfgr("MFGR#2") == 2
+        with pytest.raises(QueryError):
+            mfgr("MFGR#22")
+
+
+class TestPredicates:
+    def test_eq(self):
+        mask = Predicate("x", PredicateOp.EQ, 3).evaluate(np.array([1, 3, 3]))
+        assert mask.tolist() == [False, True, True]
+
+    def test_between_inclusive(self):
+        mask = Predicate("x", PredicateOp.BETWEEN, (2, 4)).evaluate(
+            np.array([1, 2, 3, 4, 5])
+        )
+        assert mask.tolist() == [False, True, True, True, False]
+
+    def test_in(self):
+        mask = Predicate("x", PredicateOp.IN, (1, 5)).evaluate(np.array([1, 2, 5]))
+        assert mask.tolist() == [True, False, True]
+
+    def test_lt_le(self):
+        values = np.array([1, 2, 3])
+        assert Predicate("x", PredicateOp.LT, 2).evaluate(values).tolist() == [
+            True, False, False,
+        ]
+        assert Predicate("x", PredicateOp.LE, 2).evaluate(values).tolist() == [
+            True, True, False,
+        ]
+
+
+class TestQueryCatalog:
+    def test_thirteen_queries(self):
+        assert len(ALL_QUERIES) == 13
+
+    def test_four_flights(self):
+        assert [len(flight(i)) for i in (1, 2, 3, 4)] == [3, 3, 4, 3]
+
+    def test_lookup(self):
+        assert get_query("Q2.1").flight == 2
+        with pytest.raises(QueryError):
+            get_query("Q9.9")
+        with pytest.raises(QueryError):
+            flight(5)
+
+    def test_flight1_filters_fact_directly(self):
+        for query in flight(1):
+            assert query.fact_filters
+            assert len(query.joins) == 1
+            assert query.joins[0].table == "date"
+            assert not query.group_by
+
+    def test_flights_2_to_4_group(self):
+        for number in (2, 3, 4):
+            for query in flight(number):
+                assert query.group_by
+                assert not query.fact_filters
+
+    def test_flight_join_counts(self):
+        # QF2/3 join three tables, QF4 joins all four dimensions.
+        assert all(len(q.joins) == 3 for q in flight(2))
+        assert all(len(q.joins) == 3 for q in flight(3))
+        assert all(len(q.joins) == 4 for q in flight(4))
+
+    def test_queries_in_same_flight_join_same_tables(self):
+        # SSB: "Queries inside of the same flight always join the same
+        # tables but vary both in selectivity and aggregation."
+        for number in (2, 3, 4):
+            tables = [tuple(sorted(j.table for j in q.joins)) for q in flight(number)]
+            assert len(set(tables)) == 1
+
+    def test_group_by_columns_are_join_payloads(self):
+        for query in ALL_QUERIES:
+            payloads = {c for join in query.joins for c in join.payload}
+            for column in query.group_by:
+                assert column in payloads, (query.name, column)
+
+    def test_join_for(self):
+        query = get_query("Q4.1")
+        assert query.join_for("part").fact_key == "lo_partkey"
+        with pytest.raises(QueryError):
+            get_query("Q1.1").join_for("part")
+
+    def test_aggregates_by_flight(self):
+        assert all(
+            q.aggregate.expression == "extendedprice*discount" for q in flight(1)
+        )
+        assert all(q.aggregate.expression == "revenue" for q in flight(2))
+        assert all(q.aggregate.expression == "revenue" for q in flight(3))
+        assert all(
+            q.aggregate.expression == "revenue-supplycost" for q in flight(4)
+        )
+
+
+class TestSqlReference:
+    """The declarative plans must audit cleanly against the SQL text."""
+
+    def test_every_query_carries_sql(self):
+        for query in ALL_QUERIES:
+            assert query.sql.strip().startswith("select"), query.name
+
+    def test_sql_mentions_every_joined_table(self):
+        for query in ALL_QUERIES:
+            for join in query.joins:
+                assert join.table in query.sql, (query.name, join.table)
+
+    def test_sql_group_by_matches_plan(self):
+        for query in ALL_QUERIES:
+            if query.group_by:
+                assert "group by" in query.sql, query.name
+                for column in query.group_by:
+                    assert column in query.sql, (query.name, column)
+            else:
+                assert "group by" not in query.sql, query.name
+
+    def test_sql_constants_translate_to_plan_codes(self):
+        q21 = get_query("Q2.1")
+        assert "MFGR#12" in q21.sql
+        part_filter = q21.join_for("part").filters[0]
+        assert part_filter.value == category("MFGR#12")
+
+    def test_sql_aggregates_match(self):
+        for query in ALL_QUERIES:
+            if query.flight == 1:
+                assert "lo_extendedprice*lo_discount" in query.sql
+            elif query.flight == 4:
+                assert "lo_revenue - lo_supplycost" in query.sql
+            else:
+                assert "sum(lo_revenue)" in query.sql

@@ -1,0 +1,107 @@
+"""Tests for the SSB schema and dictionary encodings."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.ssb import schema
+
+
+class TestVocabularies:
+    def test_five_regions(self):
+        assert len(schema.REGIONS) == 5
+
+    def test_twentyfive_nations_five_per_region(self):
+        assert len(schema.NATIONS) == 25
+        for region_code in range(5):
+            assert len(schema.nation_of_region(region_code)) == 5
+
+    def test_region_of_nation_round_trip(self):
+        for nation_code in range(25):
+            region_code = schema.region_of_nation(nation_code)
+            assert nation_code in schema.nation_of_region(region_code)
+
+    def test_city_codes_dense(self):
+        assert schema.city_code(0, 0) == 0
+        assert schema.city_code(24, 9) == 249
+
+    def test_city_name_prefix(self):
+        # The spec: city = first 9 chars of the nation + a digit.
+        name = schema.city_name(schema.city_code(schema.NATIONS.index("UNITED KINGDOM"), 5))
+        assert name.startswith("UNITED KI")
+        assert name.endswith("5")
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(SchemaError):
+            schema.region_of_nation(25)
+        with pytest.raises(SchemaError):
+            schema.city_code(0, 10)
+        with pytest.raises(SchemaError):
+            schema.nation_of_region(7)
+
+
+class TestBrandEncoding:
+    def test_brand_name_round_trip(self):
+        code = schema.brand_code(2, 2, 39)
+        assert schema.brand_name(code) == "MFGR#2239"
+
+    def test_thousand_brands(self):
+        codes = {
+            schema.brand_code(m, c, b)
+            for m in range(1, 6)
+            for c in range(1, 6)
+            for b in range(1, 41)
+        }
+        assert len(codes) == 1000
+        assert min(codes) == 0 and max(codes) == 999
+
+    def test_category_name(self):
+        assert schema.category_name(0) == "MFGR#11"
+        assert schema.category_name(24) == "MFGR#55"
+
+    def test_invalid_brand_triple(self):
+        with pytest.raises(SchemaError):
+            schema.brand_code(6, 1, 1)
+        with pytest.raises(SchemaError):
+            schema.brand_code(1, 1, 41)
+
+
+class TestTableSpecs:
+    def test_lineorder_has_17_columns(self):
+        assert len(schema.LINEORDER.columns) == 17
+
+    def test_column_lookup(self):
+        col = schema.LINEORDER.column("lo_revenue")
+        assert col.width == 4
+
+    def test_unknown_column(self):
+        with pytest.raises(SchemaError):
+            schema.DATE.column("nope")
+
+    def test_table_lookup(self):
+        assert schema.table_spec("part") is schema.PART
+        with pytest.raises(SchemaError):
+            schema.table_spec("orders")
+
+    def test_row_width_positive(self):
+        for spec in schema.ALL_TABLES:
+            assert spec.row_width > 0
+
+
+class TestCardinalities:
+    def test_sf1(self):
+        assert schema.lineorder_rows(1) == 6_000_000
+        assert schema.customer_rows(1) == 30_000
+        assert schema.supplier_rows(1) == 2_000
+        assert schema.part_rows(1) == 200_000
+
+    def test_part_grows_logarithmically(self):
+        assert schema.part_rows(100) == 200_000 * 7
+        assert schema.part_rows(50) == 200_000 * 6
+
+    def test_fractional_sf(self):
+        assert schema.lineorder_rows(0.1) == 600_000
+        assert schema.part_rows(0.1) == 20_000
+
+    def test_invalid_sf(self):
+        with pytest.raises(SchemaError):
+            schema.lineorder_rows(0)

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("fig3", "fig14", "table1", "bestpractices"):
+            assert exp_id in out
+
+
+class TestRun:
+    def test_runs_experiment(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+        assert "paper" in out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+
+class TestBandwidth:
+    def test_default_read(self, capsys):
+        assert main(["bandwidth"]) == 0
+        out = capsys.readouterr().out
+        assert "GB/s" in out
+        assert "read" in out
+
+    def test_write_with_options(self, capsys):
+        assert main(
+            ["bandwidth", "--op", "write", "--threads", "4", "--size", "4096"]
+        ) == 0
+        value = float(capsys.readouterr().out.split(":")[-1].split()[0])
+        assert value == pytest.approx(12.6, rel=0.05)
+
+    def test_far_cold_read(self, capsys):
+        assert main(["bandwidth", "--far", "--cold", "--threads", "4"]) == 0
+        value = float(capsys.readouterr().out.split(":")[-1].split()[0])
+        assert value == pytest.approx(8.0, rel=0.1)
+
+    def test_random_read(self, capsys):
+        assert main(
+            ["bandwidth", "--pattern", "random", "--size", "256", "--threads", "36"]
+        ) == 0
+        assert "random" in capsys.readouterr().out
+
+    def test_dram_grouped(self, capsys):
+        assert main(
+            ["bandwidth", "--media", "dram", "--layout", "grouped", "--threads", "18"]
+        ) == 0
+        value = float(capsys.readouterr().out.split(":")[-1].split()[0])
+        assert value > 90
+
+
+class TestVerify:
+    def test_all_hold(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "all 12 insights and 7 best practices hold" in out
+
+
+class TestAdvise:
+    def test_scan_heavy(self, capsys):
+        assert main(["advise", "--profile", "scan_heavy"]) == 0
+        out = capsys.readouterr().out
+        assert "Recommended PMEM configuration" in out
+        assert "BP2" in out
+
+    def test_constrained(self, capsys):
+        assert main(
+            ["advise", "--profile", "mixed", "--threads", "8",
+             "--no-system-control", "--needs-filesystem"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fsdax" in out
+        assert "numa_region" in out
+
+
+class TestSsb:
+    def test_ssb_runs(self, capsys):
+        assert main(["ssb", "--sf", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14b" in out
+        assert "Table 1" in out
+        assert "SSD" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fly"])
+
+
+class TestHybrid:
+    def test_hybrid_plan(self, capsys):
+        assert main(["hybrid", "--sf", "0.02", "--dram-budget-gib", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid plan" in out
+        assert "PMEM-only" in out and "DRAM-only" in out

@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples must run and tell their story.
+
+The SSB-heavy examples are exercised end-to-end in their own modules'
+tests; here the model-only examples run fully and the SSB ones are
+import-checked, keeping the suite fast.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestModelOnlyExamples:
+    def test_quickstart(self, capsys):
+        out = _run("quickstart.py", capsys)
+        assert "2-socket system" in out
+        assert "boomerang" in out
+        assert "HOLDS" in out and "VIOLATED" not in out
+
+    def test_placement_advisor(self, capsys):
+        out = _run("placement_advisor.py", capsys)
+        assert out.count("Recommended PMEM configuration") == 3
+        assert "fsdax" in out  # the no-control scenario
+
+    def test_mixed_workload_tuning(self, capsys):
+        out = _run("mixed_workload_tuning.py", capsys)
+        assert "interference map" in out
+        assert "serialize" in out or "concurrently" in out
+
+
+class TestSsbExamplesImportable:
+    @pytest.mark.parametrize(
+        "name",
+        ["ssb_analysis.py", "capacity_planning.py", "hybrid_design.py"],
+    )
+    def test_compiles(self, name):
+        source = (EXAMPLES / name).read_text()
+        compile(source, name, "exec")
+
+    def test_ssb_analysis_runs_at_tiny_scale(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["ssb_analysis.py", "0.01"])
+        out = _run("ssb_analysis.py", capsys)
+        assert "Figure 14b" in out
+        assert "Table 1" in out
+        assert "average slowdown" in out

@@ -1,0 +1,45 @@
+"""Tests for sweep-grid plumbing."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.memsim.spec import Op, StreamSpec
+from repro.workloads import SweepGrid, SweepPoint
+
+
+def _point(label):
+    return SweepPoint(
+        label=label,
+        params={},
+        streams=(StreamSpec(op=Op.READ, threads=1),),
+    )
+
+
+class TestSweepPoint:
+    def test_requires_streams(self):
+        with pytest.raises(WorkloadError):
+            SweepPoint(label="x", params={}, streams=())
+
+
+class TestSweepGrid:
+    def test_iteration_preserves_order(self):
+        grid = SweepGrid(name="g", points=(_point("a"), _point("b")))
+        assert grid.labels() == ["a", "b"]
+        assert len(grid) == 2
+
+    def test_lookup_by_label(self):
+        grid = SweepGrid(name="g", points=(_point("a"), _point("b")))
+        assert grid.point("b").label == "b"
+
+    def test_missing_label(self):
+        grid = SweepGrid(name="g", points=(_point("a"),))
+        with pytest.raises(WorkloadError):
+            grid.point("zzz")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(WorkloadError):
+            SweepGrid(name="g", points=(_point("a"), _point("a")))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(WorkloadError):
+            SweepGrid(name="g", points=())
