@@ -1,0 +1,48 @@
+"""``repro.analysis`` — "simlint", a repo-specific static-analysis pass.
+
+The reproduction's numbers are only trustworthy if two invariants hold
+everywhere in the tree:
+
+* **unit safety** — sizes are integer bytes, bandwidths are decimal GB/s
+  floats, times are float seconds (the conventions of :mod:`repro.units`),
+  and every conversion between them goes through the helpers in that
+  module rather than ad-hoc ``1024**3`` arithmetic;
+* **determinism** — a simulation or SSB run with a fixed seed is
+  bit-for-bit repeatable, which forbids unseeded RNGs, wall-clock reads,
+  and set-ordering dependence inside the simulation paths.
+
+Both used to live only in docstrings. This package enforces them (plus
+float hygiene and exception hygiene) with a small linter built on the
+stdlib :mod:`ast` module: a registry of checkers walks every module, each
+emitting :class:`~repro.analysis.finding.Finding` records, which are then
+filtered through per-line ``# simlint: ignore[rule]`` suppressions and a
+checked-in baseline of grandfathered findings.
+
+Entry points
+------------
+* ``python -m repro.analysis [paths]`` / ``repro lint`` — the CLI.
+* :func:`run_analysis` — the same pass, in-process (used by the tier-1
+  test ``tests/test_lint.py``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import SimlintConfig, load_config
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import all_rules, checker_for, register
+from repro.analysis.runner import AnalysisReport, analyze_file, run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "SimlintConfig",
+    "all_rules",
+    "analyze_file",
+    "checker_for",
+    "load_config",
+    "register",
+    "run_analysis",
+]

@@ -1,0 +1,111 @@
+"""The baseline of grandfathered findings.
+
+The baseline lets the analyzer gate *new* violations without requiring
+every historical one to be fixed first. It is a checked-in JSON file; each
+entry records the finding's path, rule, exact source snippet, and a
+human-written ``reason`` explaining why the finding is accepted rather
+than fixed. Matching is by ``(path, rule, snippet)`` — deliberately not by
+line number, so baselined findings survive unrelated edits — and is
+count-aware: two identical violations need two entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.finding import Finding
+from repro.errors import AnalysisError
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted findings keyed like ``Finding.baseline_key``."""
+
+    entries: list[dict[str, str]] = field(default_factory=list)
+
+    @staticmethod
+    def _key(entry: dict[str, str]) -> tuple[str, str, str]:
+        return (entry["path"], entry["rule"], entry["snippet"])
+
+    @classmethod
+    def load(cls, path: Path) -> Baseline:
+        """Read a baseline file, validating its schema."""
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise AnalysisError(
+                f"baseline {path} has unsupported format (want version {_VERSION})"
+            )
+        entries = data.get("entries", [])
+        for entry in entries:
+            missing = {"path", "rule", "snippet"} - set(entry)
+            if missing:
+                raise AnalysisError(
+                    f"baseline {path}: entry {entry!r} missing {sorted(missing)}"
+                )
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], reason: str) -> Baseline:
+        """Build a baseline accepting ``findings``, all with one ``reason``.
+
+        Used by ``--write-baseline``; the expectation is that the reasons
+        are then edited by hand to justify each entry individually.
+        """
+        return cls(entries=[
+            {
+                "path": finding.path,
+                "rule": finding.rule,
+                "snippet": finding.snippet,
+                "reason": reason,
+            }
+            for finding in findings
+        ])
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {"version": _VERSION, "entries": self.entries}
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, baselined).
+
+        Count-aware: each baseline entry absorbs at most one finding with
+        its key, in file order.
+        """
+        budget = Counter(self._key(entry) for entry in self.entries)
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        for finding in findings:
+            if budget[finding.baseline_key] > 0:
+                budget[finding.baseline_key] -= 1
+                accepted.append(finding)
+            else:
+                new.append(finding)
+        return new, accepted
+
+    def stale_entries(self, findings: list[Finding]) -> list[dict[str, str]]:
+        """Baseline entries no longer matched by any finding.
+
+        Stale entries are reported (so the baseline shrinks over time) but
+        are not an error: a fix landing should not require a lockstep
+        baseline edit to keep CI green.
+        """
+        present = Counter(finding.baseline_key for finding in findings)
+        stale: list[dict[str, str]] = []
+        for entry in self.entries:
+            key = self._key(entry)
+            if present[key] > 0:
+                present[key] -= 1
+            else:
+                stale.append(entry)
+        return stale

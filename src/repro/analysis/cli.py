@@ -1,0 +1,116 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit codes: **0** clean (every finding fixed, suppressed, or baselined),
+**1** at least one new finding, **2** usage or configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import load_config
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import AnalysisReport, run_analysis
+from repro.errors import AnalysisError
+
+#: Exit status for usage/configuration problems (vs. 1 = findings).
+EXIT_ERROR = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="simlint: unit-safety, determinism and hygiene checks "
+        "for the repro package",
+    )
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories (default: [tool.simlint] paths)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as JSON instead of text")
+    parser.add_argument("--config", type=Path, default=None,
+                        help="explicit pyproject.toml (default: discovered upward)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rules to run (codes or names)")
+    parser.add_argument("--disable", metavar="RULES",
+                        help="comma-separated rules to skip")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report baselined findings as if new")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept all current findings into the baseline file")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list the registered rules and exit")
+    return parser
+
+
+def _split_rules(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [ref.strip() for ref in raw.split(",") if ref.strip()]
+
+
+def _print_text(report: AnalysisReport, out) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=out)
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files} file(s)"
+        f" ({len(report.baselined)} baselined, {report.suppressed} suppressed)"
+    )
+    print(summary, file=out)
+    for entry in report.stale_baseline:
+        print(
+            f"note: stale baseline entry {entry['path']} [{entry['rule']}] "
+            f"{entry['snippet']!r} no longer matches anything",
+            file=out,
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the analyzer; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name:<18} {rule.summary}")
+        return 0
+
+    try:
+        config = load_config(explicit=args.config)
+        report = run_analysis(
+            paths=args.paths or None,
+            config=config,
+            select=_split_rules(args.select),
+            disable=_split_rules(args.disable),
+            use_baseline=not (args.no_baseline or args.write_baseline),
+        )
+        if args.write_baseline:
+            baseline_path = config.baseline_path()
+            if baseline_path is None:
+                raise AnalysisError(
+                    "no baseline file configured; set [tool.simlint] baseline"
+                )
+            Baseline.from_findings(
+                report.findings, reason="grandfathered by --write-baseline"
+            ).save(baseline_path)
+            print(
+                f"wrote {len(report.findings)} entries to {baseline_path}",
+                file=sys.stderr,
+            )
+            return 0
+    except AnalysisError as exc:
+        print(f"simlint: error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        _print_text(report, sys.stdout)
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Configuration for the simlint pass.
+
+Configuration lives in the ``[tool.simlint]`` block of ``pyproject.toml``,
+discovered by walking up from the analysis root. Every knob has a default
+so the analyzer also works on a bare directory of Python files (the test
+fixtures rely on this).
+"""
+
+from __future__ import annotations
+
+import tomllib
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.errors import AnalysisError
+
+#: Files allowed to define magic unit literals: the unit vocabulary itself,
+#: the structural hardware constants, and the paper's digitised figures.
+DEFAULT_UNIT_LITERAL_FILES: tuple[str, ...] = (
+    "repro/units.py",
+    "repro/memsim/constants.py",
+    "repro/experiments/paperdata.py",
+)
+
+#: Exceptions library code may raise without going through the
+#: :mod:`repro.errors` taxonomy. The taxonomy itself is always allowed;
+#: these builtins cover idiomatic protocol signalling (``__getattr__``
+#: raising ``AttributeError``, mappings raising ``KeyError``, ...).
+DEFAULT_ALLOWED_RAISES: tuple[str, ...] = (
+    "AssertionError",
+    "AttributeError",
+    "IndexError",
+    "KeyError",
+    "NotImplementedError",
+    "StopIteration",
+    "ZeroDivisionError",
+)
+
+
+@dataclass(frozen=True)
+class SimlintConfig:
+    """Resolved simlint configuration.
+
+    ``root`` anchors relative paths (finding paths are reported relative
+    to it); it is the directory containing ``pyproject.toml`` when the
+    config was loaded from one, else the analysis working directory.
+    """
+
+    root: Path = field(default_factory=Path.cwd)
+    #: Default analysis targets when the CLI is given none.
+    paths: tuple[str, ...] = ("src",)
+    #: Path fragments to skip entirely (POSIX, substring match).
+    exclude: tuple[str, ...] = ()
+    #: Files (POSIX suffix match) exempt from the unit-literal rule.
+    unit_literal_files: tuple[str, ...] = DEFAULT_UNIT_LITERAL_FILES
+    #: Path fragments the determinism rules are confined to; empty means
+    #: every analyzed file (the deterministic core is ``memsim`` + ``ssb``,
+    #: but fixtures and small projects want the rules everywhere).
+    determinism_paths: tuple[str, ...] = ()
+    #: Exception names allowed outside the ``repro.errors`` taxonomy.
+    allowed_raises: tuple[str, ...] = DEFAULT_ALLOWED_RAISES
+    #: Baseline file of grandfathered findings, relative to ``root``.
+    baseline: str | None = None
+    #: Rules (codes or names) disabled outright.
+    disable: tuple[str, ...] = ()
+
+    def baseline_path(self) -> Path | None:
+        """Absolute path of the configured baseline file, if any."""
+        if self.baseline is None:
+            return None
+        return self.root / self.baseline
+
+    def is_unit_literal_file(self, relpath: str) -> bool:
+        """Whether ``relpath`` may define magic unit literals."""
+        return any(relpath.endswith(allowed) for allowed in self.unit_literal_files)
+
+    def in_determinism_scope(self, relpath: str) -> bool:
+        """Whether the determinism rules apply to ``relpath``."""
+        if not self.determinism_paths:
+            return True
+        return any(fragment in relpath for fragment in self.determinism_paths)
+
+    def is_excluded(self, relpath: str) -> bool:
+        """Whether ``relpath`` is excluded from analysis entirely."""
+        return any(fragment in relpath for fragment in self.exclude)
+
+
+_LIST_KEYS = {
+    "paths",
+    "exclude",
+    "unit_literal_files",
+    "determinism_paths",
+    "allowed_raises",
+    "disable",
+}
+
+
+def _parse_block(block: dict[str, object], root: Path) -> SimlintConfig:
+    known = {f.name for f in fields(SimlintConfig)} - {"root"}
+    updates: dict[str, object] = {}
+    for raw_key, value in block.items():
+        key = raw_key.replace("-", "_")
+        if key not in known:
+            raise AnalysisError(
+                f"unknown [tool.simlint] key {raw_key!r}; known keys: "
+                f"{', '.join(sorted(known))}"
+            )
+        if key in _LIST_KEYS:
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                raise AnalysisError(
+                    f"[tool.simlint] {raw_key!r} must be a list of strings"
+                )
+            updates[key] = tuple(value)
+        elif key == "baseline":
+            if not isinstance(value, str):
+                raise AnalysisError("[tool.simlint] 'baseline' must be a string")
+            updates[key] = value
+    return replace(SimlintConfig(root=root), **updates)
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Return the nearest ``pyproject.toml`` at or above ``start``."""
+    start = start.resolve()
+    for directory in (start, *start.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(start: Path | None = None, explicit: Path | None = None) -> SimlintConfig:
+    """Load simlint configuration.
+
+    ``explicit`` names a specific TOML file (the CLI's ``--config``);
+    otherwise the nearest ``pyproject.toml`` above ``start`` (default: the
+    current directory) is used. A missing ``[tool.simlint]`` block — or no
+    pyproject at all — yields the defaults.
+    """
+    pyproject = explicit if explicit is not None else find_pyproject(start or Path.cwd())
+    if pyproject is None:
+        return SimlintConfig(root=(start or Path.cwd()).resolve())
+    if not pyproject.is_file():
+        raise AnalysisError(f"config file not found: {pyproject}")
+    try:
+        with pyproject.open("rb") as handle:
+            data = tomllib.load(handle)
+    except tomllib.TOMLDecodeError as exc:
+        raise AnalysisError(f"could not parse {pyproject}: {exc}") from exc
+    block = data.get("tool", {}).get("simlint", {})
+    if not isinstance(block, dict):
+        raise AnalysisError("[tool.simlint] must be a table")
+    return _parse_block(block, pyproject.parent.resolve())

@@ -1,0 +1,72 @@
+"""The :class:`Finding` record emitted by every checker, and rule metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Identity of one simlint check.
+
+    ``code`` is the stable machine id (``SIM201``); ``name`` is the short
+    human slug used in suppression comments (``float-equality``). Either
+    form is accepted wherever a rule is referenced (``--disable``,
+    ``# simlint: ignore[...]``, config lists).
+    """
+
+    code: str
+    name: str
+    summary: str
+
+    def matches(self, ref: str) -> bool:
+        """Return whether ``ref`` (a code or a name) refers to this rule."""
+        return ref in (self.code, self.name)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic: a rule violated at a specific place in a file.
+
+    ``path`` is stored POSIX-style relative to the project root so that
+    findings, suppressor comments and baseline entries compare equal
+    regardless of the machine the analysis ran on. ``snippet`` is the
+    stripped source line, which doubles as the line-number-insensitive
+    part of the baseline key.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str = field(compare=False)
+    name: str = field(compare=False)
+    message: str = field(compare=False)
+    snippet: str = field(compare=False)
+
+    @property
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Key used to match this finding against a baseline entry.
+
+        Deliberately excludes the line number: a baselined finding should
+        survive unrelated edits above it in the same file.
+        """
+        return (self.path, self.rule, self.snippet)
+
+    def render(self) -> str:
+        """One-line ``path:line:col: CODE[name] message`` diagnostic."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule}[{self.name}] {self.message}"
+        )
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serialisable form (used by ``--json`` output)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "name": self.name,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

@@ -1,0 +1,112 @@
+"""Checker registry.
+
+A *checker* is a callable ``(module: ast.Module, ctx: FileContext) ->
+Iterable[Finding]`` registered under a :class:`~repro.analysis.finding.Rule`.
+Rule modules register themselves at import time via the :func:`register`
+decorator; :mod:`repro.analysis.rules` imports them all so that importing
+that package is enough to populate the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.config import SimlintConfig
+from repro.analysis.finding import Finding, Rule
+from repro.errors import AnalysisError
+
+Checker = Callable[[ast.Module, "FileContext"], Iterable[Finding]]
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may need about the file under analysis."""
+
+    path: Path
+    relpath: str  # POSIX, relative to the config root
+    source: str
+    config: SimlintConfig
+    lines: list[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+
+    def snippet(self, line: int) -> str:
+        """Stripped source text of 1-based ``line`` (empty if out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` for ``rule`` anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.relpath,
+            line=line,
+            col=col + 1,
+            rule=rule.code,
+            name=rule.name,
+            message=message,
+            snippet=self.snippet(line),
+        )
+
+
+_REGISTRY: dict[str, tuple[Rule, Checker]] = {}
+
+
+def register(rule: Rule) -> Callable[[Checker], Checker]:
+    """Class/function decorator adding a checker to the registry."""
+
+    def decorate(checker: Checker) -> Checker:
+        if rule.code in _REGISTRY:
+            raise AnalysisError(f"duplicate rule code {rule.code}")
+        if any(existing.name == rule.name for existing, _ in _REGISTRY.values()):
+            raise AnalysisError(f"duplicate rule name {rule.name}")
+        _REGISTRY[rule.code] = (rule, checker)
+        return checker
+
+    return decorate
+
+
+def _ensure_loaded() -> None:
+    # Imported lazily so registry.py itself stays import-cycle free.
+    import repro.analysis.rules  # noqa: F401
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    _ensure_loaded()
+    return [rule for rule, _ in sorted(_REGISTRY.values(), key=lambda rc: rc[0].code)]
+
+
+def checker_for(rule_ref: str) -> tuple[Rule, Checker]:
+    """Look up a checker by rule code or name."""
+    _ensure_loaded()
+    for rule, checker in _REGISTRY.values():
+        if rule.matches(rule_ref):
+            return rule, checker
+    raise AnalysisError(
+        f"unknown rule {rule_ref!r}; known rules: "
+        f"{', '.join(f'{r.code}/{r.name}' for r in all_rules())}"
+    )
+
+
+def active_checkers(config: SimlintConfig, select: Iterable[str] | None = None,
+                    disable: Iterable[str] | None = None) -> list[tuple[Rule, Checker]]:
+    """Checkers to run given config plus CLI ``--select``/``--disable``.
+
+    ``select`` (if given) whitelists rules; ``disable`` and the config's
+    ``disable`` list are then removed. Unknown references raise
+    :class:`~repro.errors.AnalysisError` rather than being ignored.
+    """
+    _ensure_loaded()
+    chosen = [checker_for(ref) for ref in select] if select else [
+        (rule, checker)
+        for rule, checker in sorted(_REGISTRY.values(), key=lambda rc: rc[0].code)
+    ]
+    dropped = {checker_for(ref)[0].code for ref in (*config.disable, *(disable or ()))}
+    return [(rule, checker) for rule, checker in chosen if rule.code not in dropped]

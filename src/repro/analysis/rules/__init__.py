@@ -1,0 +1,11 @@
+"""Rule modules; importing this package populates the checker registry."""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    docstrings,
+    exceptions,
+    floats,
+    units,
+)

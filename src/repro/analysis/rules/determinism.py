@@ -1,0 +1,134 @@
+"""Determinism rules.
+
+The simulator's contract is bit-for-bit repeatability under a fixed seed
+(the determinism regression test in ``tests/test_determinism.py`` pins
+it). Two rules guard the code paths that contract depends on, confined to
+the configured ``determinism-paths`` (``memsim`` and ``ssb`` here):
+
+* **SIM101 unseeded-random** — entropy or wall-clock leaking into a
+  simulation: ``np.random.default_rng()`` with no seed, the seeded-by-
+  nobody module-level ``random.*`` functions, ``time.time()`` /
+  ``perf_counter()`` / ``monotonic()``, and ``datetime.now()``.
+* **SIM102 set-iteration** — iterating a ``set``/``frozenset`` directly.
+  Python's set order varies with insertion history and hash seeding, so a
+  set feeding results must be sorted first. (Dict iteration is fine:
+  insertion order is guaranteed.)
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+UNSEEDED_RANDOM = Rule(
+    code="SIM101",
+    name="unseeded-random",
+    summary="unseeded RNG or wall-clock read inside a simulation path",
+)
+
+SET_ITERATION = Rule(
+    code="SIM102",
+    name="set-iteration",
+    summary="iteration over an unordered set inside a simulation path",
+)
+
+#: ``random.<fn>`` module-level functions that mutate/read global RNG state.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "betavariate", "choice", "choices", "expovariate", "gauss", "getrandbits",
+    "lognormvariate", "normalvariate", "paretovariate", "randbytes", "randint",
+    "random", "randrange", "sample", "seed", "shuffle", "triangular",
+    "uniform", "vonmisesvariate", "weibullvariate",
+})
+
+#: ``time.<fn>`` reads that differ between runs.
+_CLOCK_FNS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` call targets; ``None`` for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _clock_message(dotted: str) -> str | None:
+    head, _, tail = dotted.rpartition(".")
+    if head in ("time",) and tail in _CLOCK_FNS:
+        return f"'{dotted}()' reads the wall clock"
+    if tail in ("now", "utcnow") and head.split(".")[-1] == "datetime":
+        return f"'{dotted}()' reads the wall clock"
+    return None
+
+
+@register(UNSEEDED_RANDOM)
+def check_unseeded_random(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.config.in_determinism_scope(ctx.relpath):
+        return
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        tail = dotted.rpartition(".")[2]
+        if tail == "default_rng" and not node.args and not node.keywords:
+            yield ctx.finding(
+                UNSEEDED_RANDOM, node,
+                "'default_rng()' without a seed draws OS entropy; thread the "
+                "simulation seed through (e.g. np.random.default_rng(config.seed))",
+            )
+            continue
+        head = dotted.rpartition(".")[0]
+        if head == "random" and tail in _GLOBAL_RANDOM_FNS:
+            yield ctx.finding(
+                UNSEEDED_RANDOM, node,
+                f"'{dotted}()' uses the process-global RNG; use a seeded "
+                "np.random.Generator owned by the simulation instead",
+            )
+            continue
+        clock = _clock_message(dotted)
+        if clock is not None:
+            yield ctx.finding(
+                UNSEEDED_RANDOM, node,
+                f"{clock}; simulated time must come from the simulation clock, "
+                "and measured time must stay out of result dicts",
+            )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register(SET_ITERATION)
+def check_set_iteration(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.config.in_determinism_scope(ctx.relpath):
+        return
+    for node in ast.walk(module):
+        iters: list[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for it in iters:
+            if _is_set_expr(it):
+                yield ctx.finding(
+                    SET_ITERATION, it,
+                    "iterating a set feeds its nondeterministic order into the "
+                    "simulation; wrap it in sorted(...)",
+                )

@@ -1,0 +1,65 @@
+"""Docstring/units-contract rule.
+
+**SIM401 units-docstring** — a public function whose *name* advertises a
+physical quantity (``..._seconds``, ``..._gbps``, ``bandwidth...``,
+``..._bytes``, ``latency``, ``duration``) is an API boundary where unit
+mistakes are made. Its docstring must therefore say which unit the value
+is in — "GB/s", "seconds", "bytes", "ns", ... — so callers never have to
+guess between binary and decimal, or between seconds and nanoseconds.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+UNITS_DOCSTRING = Rule(
+    code="SIM401",
+    name="units-docstring",
+    summary="public quantity-returning function whose docstring names no unit",
+)
+
+#: Function names that advertise a physical quantity.
+_QUANTITY_NAME_RE = re.compile(
+    r"gbps|bandwidth|latency|duration|(^|_)seconds($|_)|_bytes$|_ns$|_nanos$"
+)
+
+#: Words that count as naming a unit (checked case-insensitively).
+_UNIT_WORDS = (
+    "gb/s", "gbps", "gib/s", "mb/s", "b/s",
+    "second", "millisecond", "microsecond", "nanosecond", " ns", "(ns)",
+    "byte", "kib", "mib", "gib", "tib",
+)
+
+
+def _mentions_unit(docstring: str) -> bool:
+    lowered = docstring.lower()
+    return any(word in lowered for word in _UNIT_WORDS)
+
+
+@register(UNITS_DOCSTRING)
+def check_units_docstring(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(module):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name.startswith("_"):
+            continue
+        if not _QUANTITY_NAME_RE.search(node.name):
+            continue
+        docstring = ast.get_docstring(node)
+        if docstring is None:
+            yield ctx.finding(
+                UNITS_DOCSTRING, node,
+                f"public function '{node.name}' returns a physical quantity "
+                "but has no docstring; document the unit (GB/s, seconds, bytes)",
+            )
+        elif not _mentions_unit(docstring):
+            yield ctx.finding(
+                UNITS_DOCSTRING, node,
+                f"docstring of '{node.name}' never names the unit of the "
+                "quantity it deals in; say GB/s, seconds, bytes, ns, ...",
+            )

@@ -1,0 +1,107 @@
+"""Exception-hygiene rules.
+
+The package promises callers a single catchable root
+(:class:`repro.errors.ReproError`). Three rules keep error handling
+honest:
+
+* **SIM301 bare-except** — ``except:`` catches ``KeyboardInterrupt`` and
+  ``SystemExit`` too; name the exception.
+* **SIM302 silent-except** — a handler whose entire body is ``pass``
+  swallows failures invisibly; at minimum record why ignoring is safe
+  (and suppress the finding on that line).
+* **SIM303 foreign-raise** — library code raising exception types outside
+  the :mod:`repro.errors` taxonomy (plus the idiomatic builtins in
+  ``allowed-raises``: ``KeyError`` from mappings, ``AttributeError`` from
+  ``__getattr__``, ...). Callers can only rely on ``except ReproError``
+  if the library keeps this discipline.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+import repro.errors as _errors
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+from repro.errors import ReproError
+
+BARE_EXCEPT = Rule(
+    code="SIM301",
+    name="bare-except",
+    summary="bare 'except:' clause",
+)
+
+SILENT_EXCEPT = Rule(
+    code="SIM302",
+    name="silent-except",
+    summary="exception handler that silently passes",
+)
+
+FOREIGN_RAISE = Rule(
+    code="SIM303",
+    name="foreign-raise",
+    summary="raises an exception type outside the repro.errors taxonomy",
+)
+
+#: Names of the taxonomy classes, derived from the module so the rule can
+#: never drift out of sync with ``errors.py``.
+_TAXONOMY = frozenset(
+    name
+    for name, obj in vars(_errors).items()
+    if isinstance(obj, type) and issubclass(obj, ReproError)
+)
+
+
+@register(BARE_EXCEPT)
+def check_bare_except(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(module):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield ctx.finding(
+                BARE_EXCEPT, node,
+                "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                "catch a named exception (ReproError for library failures)",
+            )
+
+
+@register(SILENT_EXCEPT)
+def check_silent_except(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(module):
+        if isinstance(node, ast.ExceptHandler) and all(
+            isinstance(stmt, ast.Pass) for stmt in node.body
+        ):
+            yield ctx.finding(
+                SILENT_EXCEPT, node,
+                "handler swallows the exception with 'pass'; handle it, "
+                "re-raise as a ReproError, or justify with a suppression",
+            )
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """Class name of the raised exception, when statically visible."""
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    if isinstance(exc, ast.Name):
+        # ``raise exc`` re-raising a caught variable is out of scope; only
+        # CamelCase names are treated as class references.
+        return exc.id if exc.id[:1].isupper() else None
+    return None
+
+
+@register(FOREIGN_RAISE)
+def check_foreign_raise(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    allowed = _TAXONOMY | set(ctx.config.allowed_raises)
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        name = _raised_name(node)
+        if name is not None and name not in allowed:
+            yield ctx.finding(
+                FOREIGN_RAISE, node,
+                f"raises {name}, which is outside the repro.errors taxonomy; "
+                "use a ReproError subclass so 'except ReproError' stays "
+                "sufficient for callers",
+            )

@@ -1,0 +1,58 @@
+"""Float-hygiene rule.
+
+**SIM201 float-equality** — ``==`` / ``!=`` where either side is visibly a
+float: a float literal, a ``float(...)`` call, or a true division. The
+simulator accumulates service times as floats, so exact comparison is a
+latent bug even when it happens to work today (the seed tree's
+``media_bytes == 0.0`` comparisons only held because one branch assigned
+the literal ``0.0``). Use ``math.isclose``, an epsilon, or an ordered
+comparison (``<= 0.0``) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+FLOAT_EQUALITY = Rule(
+    code="SIM201",
+    name="float-equality",
+    summary="exact == / != comparison on a float expression",
+)
+
+
+def _floatish(node: ast.expr) -> bool:
+    """Whether ``node`` is syntactically certain to produce a float."""
+    if isinstance(node, ast.Constant):
+        return type(node.value) is float
+    if isinstance(node, ast.UnaryOp):
+        return _floatish(node.operand)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division always yields a float
+        return _floatish(node.left) or _floatish(node.right)
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "float"
+    return False
+
+
+@register(FLOAT_EQUALITY)
+def check_float_equality(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Compare):
+            continue
+        left = node.left
+        for op, right in zip(node.ops, node.comparators):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                _floatish(left) or _floatish(right)
+            ):
+                yield ctx.finding(
+                    FLOAT_EQUALITY, node,
+                    f"exact float comparison {ast.unparse(node)!r}; use "
+                    "math.isclose, an epsilon, or an ordered comparison",
+                )
+                break
+            left = right

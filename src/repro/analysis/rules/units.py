@@ -1,0 +1,172 @@
+"""Unit-safety rules.
+
+The package-wide convention (see :mod:`repro.units`) is: sizes are integer
+bytes built from ``KIB``/``MIB``/``GIB``, bandwidths are decimal-GB/s
+floats, times are float seconds. Two rules police it:
+
+* **SIM001 unit-literal** — magic byte/bandwidth/latency literals
+  (``1024**3``, ``1 << 20``, ``1e9``, ``10e-9``, ...) outside the files
+  that define the unit vocabulary. A bare ``1024`` is deliberately *not*
+  flagged: the paper's access-size sweeps legitimately enumerate
+  ``(64, 256, 1024, 4096, ...)`` byte sizes.
+* **SIM002 unit-mix** — arithmetic that combines a byte-count identifier
+  with a GB/s identifier directly (e.g. ``chunk_bytes / rate_gbps``),
+  which is off by 1e9 unless routed through :func:`repro.units.gbps` /
+  :func:`repro.units.seconds_for` or an explicit ``* GB`` rescale.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import re
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+from repro.units import GB, GIB, MIB, MS, NS, TIB, US
+
+UNIT_LITERAL = Rule(
+    code="SIM001",
+    name="unit-literal",
+    summary="magic size/bandwidth/latency literal outside the unit-definition files",
+)
+
+UNIT_MIX = Rule(
+    code="SIM002",
+    name="unit-mix",
+    summary="byte quantity combined with a GB/s quantity without a units helper",
+)
+
+#: Replacement hint per magic value.
+_INT_SUGGESTIONS = {
+    MIB: "units.MIB",
+    GIB: "units.GIB",
+    TIB: "units.TIB",
+    GB: "units.GB",
+}
+_FLOAT_SUGGESTIONS = {
+    float(GB): "units.GB",
+    MS: "units.MS",
+    US: "units.US",
+}
+
+#: Exponents of 2 that correspond to the binary size constants.
+_POW2_EXPONENTS = {10, 20, 30, 40}
+
+
+def _magic_float(value: float) -> str | None:
+    """Suggestion for a magic float literal, or ``None`` if it is fine."""
+    if value in _FLOAT_SUGGESTIONS:
+        return _FLOAT_SUGGESTIONS[value]
+    # Nanosecond-scale latencies written as raw floats: 1e-9 .. 1000e-9
+    # with an integral nanosecond count (catches 10e-9, 500e-9, ...).
+    if NS <= value <= 1000 * NS:
+        nanos = value / NS
+        if math.isclose(nanos, round(nanos), rel_tol=1e-12):
+            return f"{round(nanos)} * units.NS"
+    return None
+
+
+def _magic_binop(node: ast.BinOp) -> str | None:
+    """Suggestion for ``1024**k`` / ``2**k`` / ``1 << k`` shapes."""
+    left, right = node.left, node.right
+    if not isinstance(left, ast.Constant) or not isinstance(right, ast.Constant):
+        return None
+    if isinstance(node.op, ast.Pow) and left.value == 1024 and right.value in (2, 3, 4):
+        return {2: "units.MIB", 3: "units.GIB", 4: "units.TIB"}[right.value]
+    if isinstance(node.op, ast.Pow) and left.value == 2 and right.value in _POW2_EXPONENTS:
+        exponent = right.value
+    elif isinstance(node.op, ast.Pow) and left.value == 10 and right.value == 9:
+        return "units.GB"
+    elif isinstance(node.op, ast.LShift) and left.value == 1 and (
+        isinstance(right.value, int) and right.value >= 10
+    ):
+        exponent = right.value
+    else:
+        return None
+    value = 1 << exponent
+    for base_exp, name in ((10, "units.KIB"), (20, "units.MIB"),
+                           (30, "units.GIB"), (40, "units.TIB")):
+        if exponent == base_exp:
+            return name
+        if exponent > base_exp and exponent - base_exp < 10:
+            return f"{1 << (exponent - base_exp)} * {name}"
+    return f"{value} bytes via the units module"
+
+
+@register(UNIT_LITERAL)
+def check_unit_literals(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    if ctx.config.is_unit_literal_file(ctx.relpath):
+        return
+    flagged_constants: set[tuple[int, int]] = set()
+    for node in ast.walk(module):
+        if isinstance(node, ast.BinOp):
+            suggestion = _magic_binop(node)
+            if suggestion is not None:
+                # Remember the operand constants so they are not re-flagged
+                # individually (1024**3 contains no magic leaf, but 10**9's
+                # folded value would otherwise double-report).
+                for leaf in (node.left, node.right):
+                    flagged_constants.add((leaf.lineno, leaf.col_offset))
+                yield ctx.finding(
+                    UNIT_LITERAL, node,
+                    f"magic unit expression {ast.unparse(node)!r}; "
+                    f"use {suggestion} from repro.units",
+                )
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Constant):
+            continue
+        if (node.lineno, node.col_offset) in flagged_constants:
+            continue
+        suggestion: str | None = None
+        if type(node.value) is int and node.value in _INT_SUGGESTIONS:
+            suggestion = _INT_SUGGESTIONS[node.value]
+        elif type(node.value) is float:
+            suggestion = _magic_float(node.value)
+        if suggestion is not None:
+            yield ctx.finding(
+                UNIT_LITERAL, node,
+                f"magic unit literal {node.value!r}; use {suggestion} "
+                "from repro.units",
+            )
+
+
+#: Identifier shapes for "this is an integer byte count".
+_SIZE_RE = re.compile(r"(^|_)(bytes|size|capacity|footprint)($|_)|_bytes$")
+#: Identifier shapes for "this is a decimal-GB/s bandwidth".
+_BANDWIDTH_RE = re.compile(r"gbps|bandwidth|(^|_)bw($|_)")
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier a bare ``Name``/``Attribute`` operand ends in."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register(UNIT_MIX)
+def check_unit_mix(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(module):
+        if not isinstance(node, ast.BinOp):
+            continue
+        if not isinstance(node.op, (ast.Div, ast.FloorDiv, ast.Add, ast.Sub)):
+            continue
+        left = _terminal_name(node.left)
+        right = _terminal_name(node.right)
+        if left is None or right is None:
+            continue
+        pairs = ((left, right), (right, left)) if not isinstance(
+            node.op, (ast.Div, ast.FloorDiv)
+        ) else ((left, right),)
+        for size_name, bw_name in pairs:
+            if _SIZE_RE.search(size_name) and _BANDWIDTH_RE.search(bw_name):
+                yield ctx.finding(
+                    UNIT_MIX, node,
+                    f"{ast.unparse(node)!r} mixes a byte count ({size_name}) "
+                    f"with a GB/s bandwidth ({bw_name}); use units.gbps() / "
+                    "units.seconds_for() or rescale with units.GB explicitly",
+                )
+                break

@@ -1,0 +1,143 @@
+"""Drive the checkers over files and fold in suppressions + baseline."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import SimlintConfig
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import Checker, FileContext, active_checkers
+from repro.analysis.suppressions import Suppressions
+from repro.errors import AnalysisError
+
+#: Pseudo-rule for files that do not parse. Not in the registry (there is
+#: nothing to disable: an unparseable file can't be analyzed at all), but
+#: reported through the same Finding channel so CI surfaces it.
+PARSE_ERROR = Rule(
+    code="SIM000",
+    name="parse-error",
+    summary="the file could not be parsed as Python",
+)
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)  # new, actionable
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    stale_baseline: list[dict[str, str]] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean, 1 when any non-baselined finding remains."""
+        return 1 if self.findings else 0
+
+    def to_json(self) -> dict[str, object]:
+        """JSON-serialisable form for ``--json`` output."""
+        return {
+            "files": self.files,
+            "findings": [finding.to_json() for finding in self.findings],
+            "baselined": len(self.baselined),
+            "suppressed": self.suppressed,
+            "stale_baseline": self.stale_baseline,
+        }
+
+
+def iter_python_files(paths: Sequence[Path], config: SimlintConfig) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``paths``, honouring excludes."""
+    seen: set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+        candidates = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen or candidate.suffix != ".py":
+                continue
+            if config.is_excluded(_relpath(resolved, config.root)):
+                continue
+            seen.add(resolved)
+            yield resolved
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.resolve().as_posix()
+
+
+def analyze_file(
+    path: Path,
+    config: SimlintConfig,
+    checkers: Iterable[tuple[Rule, Checker]] | None = None,
+) -> tuple[list[Finding], int]:
+    """Run the checkers on one file.
+
+    Returns ``(findings, suppressed_count)`` — findings sorted by position,
+    already filtered through the file's ``# simlint: ignore`` comments.
+    """
+    if checkers is None:
+        checkers = active_checkers(config)
+    source = path.read_text(encoding="utf-8")
+    ctx = FileContext(
+        path=path, relpath=_relpath(path, config.root), source=source, config=config
+    )
+    try:
+        module = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        node = ast.Constant(value=None, lineno=exc.lineno or 1,
+                            col_offset=(exc.offset or 1) - 1)
+        return [ctx.finding(PARSE_ERROR, node, f"syntax error: {exc.msg}")], 0
+
+    raw: list[Finding] = []
+    for _rule, checker in checkers:
+        raw.extend(checker(module, ctx))
+    raw.sort()
+
+    suppressions = Suppressions.scan(source)
+    rules = {rule.code: rule for rule, _ in checkers}
+    rules[PARSE_ERROR.code] = PARSE_ERROR
+    kept = [f for f in raw if not suppressions.suppresses(f, rules)]
+    return kept, len(raw) - len(kept)
+
+
+def run_analysis(
+    paths: Sequence[Path] | None = None,
+    config: SimlintConfig | None = None,
+    *,
+    select: Sequence[str] | None = None,
+    disable: Sequence[str] | None = None,
+    use_baseline: bool = True,
+) -> AnalysisReport:
+    """Analyze ``paths`` (default: the config's) and apply the baseline."""
+    if config is None:
+        from repro.analysis.config import load_config
+
+        config = load_config()
+    targets = list(paths) if paths else [config.root / p for p in config.paths]
+    checkers = active_checkers(config, select=select, disable=disable)
+
+    report = AnalysisReport()
+    all_findings: list[Finding] = []
+    for path in iter_python_files(targets, config):
+        findings, suppressed = analyze_file(path, config, checkers)
+        all_findings.extend(findings)
+        report.suppressed += suppressed
+        report.files += 1
+
+    baseline_path = config.baseline_path() if use_baseline else None
+    if baseline_path is not None and baseline_path.is_file():
+        baseline = Baseline.load(baseline_path)
+        report.findings, report.baselined = baseline.split(all_findings)
+        report.stale_baseline = baseline.stale_entries(all_findings)
+    else:
+        report.findings = all_findings
+    return report

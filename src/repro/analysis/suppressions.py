@@ -1,0 +1,69 @@
+"""Per-line ``# simlint: ignore[...]`` suppression comments.
+
+Syntax, on the line the finding is reported at::
+
+    x = eps == 0.0          # simlint: ignore[float-equality]
+    y = 1e-9                # simlint: ignore[unit-literal] -- epsilon, not a unit
+    z = risky()             # simlint: ignore
+
+A bare ``ignore`` suppresses every rule on that line; the bracketed form
+lists rule names or codes, comma-separated. Anything after ``--`` is a
+free-text justification and is not parsed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.finding import Finding, Rule
+
+_IGNORE_RE = re.compile(
+    r"#\s*simlint:\s*ignore(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+#: Sentinel rule set meaning "every rule".
+_ALL = frozenset({"*"})
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Map of 1-based line number to the rule references suppressed there."""
+
+    by_line: dict[int, frozenset[str]]
+
+    @classmethod
+    def scan(cls, source: str) -> Suppressions:
+        """Collect suppression comments from ``source``.
+
+        A plain string scan (rather than :mod:`tokenize`) is sufficient
+        because a false positive requires the literal marker inside a
+        string on the same line as a finding — and suppressing one line
+        too many in that pathological case is harmless.
+        """
+        by_line: dict[int, frozenset[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _IGNORE_RE.search(text)
+            if match is None:
+                continue
+            listed = match.group("rules")
+            if listed is None:
+                by_line[lineno] = _ALL
+            else:
+                refs = frozenset(ref.strip() for ref in listed.split(",") if ref.strip())
+                by_line[lineno] = refs or _ALL
+        return cls(by_line=by_line)
+
+    def suppresses(self, finding: Finding, rules: dict[str, Rule]) -> bool:
+        """Whether ``finding`` is silenced by a comment on its line.
+
+        ``rules`` maps rule code to :class:`Rule` so that either the code
+        or the short name matches.
+        """
+        refs = self.by_line.get(finding.line)
+        if refs is None:
+            return False
+        if refs == _ALL:
+            return True
+        rule = rules.get(finding.rule)
+        return any(rule is not None and rule.matches(ref) for ref in refs)

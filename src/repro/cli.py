@@ -18,6 +18,8 @@ Commands
     Run the placement advisor for a workload profile.
 ``hybrid``
     Plan a hybrid PMEM-DRAM placement (the paper's future work, §9).
+``lint``
+    Run simlint, the repo's static-analysis pass (``repro.analysis``).
 """
 
 from __future__ import annotations
@@ -85,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
     hybrid.add_argument("--dram-budget-gib", type=float, default=48.0)
     hybrid.add_argument("--sf", type=float, default=0.02,
                         help="measured scale factor for the traffic run")
+
+    lint = sub.add_parser(
+        "lint", add_help=False,
+        help="run simlint, the repo's static-analysis pass",
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to python -m repro.analysis")
     return parser
 
 
@@ -226,6 +235,13 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # Dispatched before parsing: argparse's REMAINDER cannot forward
+        # option-like tokens (e.g. ``repro lint --json``) from a subparser.
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -243,6 +259,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_advise(args)
     if args.command == "hybrid":
         return _cmd_hybrid(args)
+    if args.command == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(args.lint_args)
     raise AssertionError("unreachable")
 
 

@@ -76,6 +76,7 @@ class HybridPlan:
 
     @property
     def total_seconds_saved(self) -> float:
+        """Total query seconds saved by the DRAM placements in this plan."""
         return sum(p.seconds_saved for p in self.placements if p.media is MediaKind.DRAM)
 
     def media_of(self, name: str) -> MediaKind:

@@ -62,6 +62,7 @@ class TuningResult:
 
     @property
     def best_gbps(self) -> float:
+        """Bandwidth of the winning candidate in decimal GB/s."""
         return self.best.gbps
 
     def top(self, n: int = 5) -> list[TuningCandidate]:

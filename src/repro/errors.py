@@ -47,3 +47,12 @@ class QueryError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition is missing or produced malformed output."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis pass (``repro.analysis``) was misconfigured.
+
+    Raised for malformed ``[tool.simlint]`` config, unknown rule names,
+    or an unreadable/invalid baseline file — never for lint findings
+    themselves, which are reported as data, not exceptions.
+    """

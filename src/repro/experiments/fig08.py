@@ -10,8 +10,9 @@ from __future__ import annotations
 from repro.experiments.common import model_or_default
 from repro.experiments.result import ExperimentResult
 from repro.memsim import BandwidthModel, Layout
+from repro.units import MIB
 
-SIZES = (64, 256, 1024, 4096, 16384, 65536, 1 << 20, 1 << 25)
+SIZES = (64, 256, 1024, 4096, 16384, 65536, MIB, 32 * MIB)
 THREADS = (1, 2, 4, 6, 8, 12, 18, 24, 30, 36)
 
 

@@ -126,7 +126,7 @@ class MappedRegion:
 
 
 def fsdax_bandwidth_factor(devdax_advantage: float) -> float:
-    """Steady-state fsdax bandwidth relative to devdax.
+    """Dimensionless factor scaling devdax GB/s bandwidths down to fsdax.
 
     §2.3: devdax consistently achieves 5-10% higher bandwidth; with the
     calibrated midpoint ``devdax_advantage`` of 7.5% the fsdax factor is

@@ -39,7 +39,7 @@ from repro.memsim.scheduler import PinningPolicy, SchedulerModel
 from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
 from repro.memsim.topology import MediaKind, SystemTopology, paper_server
 from repro.memsim.upi import CoherenceDirectory, UpiModel
-from repro.units import GB
+from repro.units import GB, GIB
 
 
 @dataclass(frozen=True)
@@ -61,14 +61,17 @@ class BandwidthResult:
 
     @property
     def total_gbps(self) -> float:
+        """Aggregate bandwidth of all streams in decimal GB/s."""
         return sum(s.gbps for s in self.streams)
 
     @property
     def read_gbps(self) -> float:
+        """Aggregate bandwidth of the read streams in decimal GB/s."""
         return sum(s.gbps for s in self.streams if s.spec.is_read)
 
     @property
     def write_gbps(self) -> float:
+        """Aggregate bandwidth of the write streams in decimal GB/s."""
         return sum(s.gbps for s in self.streams if not s.spec.is_read)
 
 
@@ -623,7 +626,8 @@ class BandwidthModel:
                     cal.pmem.page_fault_cost
                 )
             occupancy = self.imc.occupancy(
-                solo.issue_gbps, max(solo.media_cap_gbps, 1e-9)
+                solo.issue_gbps,
+                max(solo.media_cap_gbps, 1e-9),  # simlint: ignore[unit-literal] -- epsilon guard, not a unit
             )
             if spec.is_read:
                 counters.rpq_occupancy = max(counters.rpq_occupancy, occupancy)
@@ -723,7 +727,7 @@ class BandwidthModel:
         access_size: int,
         *,
         media: MediaKind = MediaKind.PMEM,
-        region_bytes: int = 2 * 1024**3,
+        region_bytes: int = 2 * GIB,
     ) -> float:
         """Random read bandwidth on a region of ``region_bytes``, GB/s."""
         spec = StreamSpec(
@@ -742,7 +746,7 @@ class BandwidthModel:
         access_size: int,
         *,
         media: MediaKind = MediaKind.PMEM,
-        region_bytes: int = 2 * 1024**3,
+        region_bytes: int = 2 * GIB,
     ) -> float:
         """Random write bandwidth on a region of ``region_bytes``, GB/s."""
         spec = StreamSpec(
@@ -808,5 +812,5 @@ def ssd_scan_bandwidth(cal: DeviceCalibration) -> float:
 
 
 def is_finite_bandwidth(value: float) -> bool:
-    """Guard used by tests: bandwidths must be finite and non-negative."""
+    """Guard used by tests: a GB/s bandwidth must be finite and non-negative."""
     return math.isfinite(value) and value >= 0.0

@@ -36,7 +36,7 @@ from repro.memsim.constants import OPTANE_LINE
 from repro.memsim.engine.trace import build_traces
 from repro.memsim.spec import Layout, Op, Pattern
 from repro.memsim.topology import MediaKind, SystemTopology, paper_server
-from repro.units import GB, MIB
+from repro.units import GB, MIB, NS, TIB
 
 
 @dataclass(frozen=True)
@@ -62,9 +62,9 @@ class EngineConfig:
     #: back and the Optane read buffer hides the line sharing that hurts
     #: real hardware. Phases are constant offsets, so they decorrelate
     #: arrivals without changing any thread's issue rate.
-    phase_spread: float = 500e-9
+    phase_spread: float = 500 * NS
     #: Mean of the tiny per-op drift that keeps threads from re-locking.
-    issue_jitter: float = 4e-9
+    issue_jitter: float = 4 * NS
     seed: int = 7
 
     @property
@@ -93,6 +93,7 @@ class EngineResult:
 
     @property
     def gbps(self) -> float:
+        """Achieved bandwidth in decimal GB/s over the measured interval."""
         if self.seconds <= 0:
             raise SimulationError("engine produced a zero-length run")
         return self.bytes_moved / self.seconds / GB
@@ -285,10 +286,10 @@ class DiscreteEventEngine:
                 service, media_bytes = self._service_seconds(
                     config, dimm, offset, chunk, per_dimm_rate
                 )
-                if config.op is Op.READ and media_bytes == 0.0:
+                if config.op is Op.READ and media_bytes <= 0.0:
                     # Read-buffer hit: served at channel speed, bypassing
                     # the media queue entirely.
-                    fragment_done = now + 10e-9
+                    fragment_done = now + 10 * NS
                 else:
                     start = max(now, dimm.free_at)
                     dimm.free_at = start + service
@@ -350,8 +351,8 @@ class MixedEngineConfig:
     media: MediaKind = MediaKind.PMEM
     bytes_per_side: int = 16 * MIB
     read_mlp_ops: int = 2
-    phase_spread: float = 500e-9
-    issue_jitter: float = 4e-9
+    phase_spread: float = 500 * NS
+    issue_jitter: float = 4 * NS
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -378,18 +379,21 @@ class MixedEngineResult:
 
     @property
     def read_gbps(self) -> float:
+        """Read-side bandwidth in decimal GB/s over the measured interval."""
         if self.seconds <= 0:
             raise SimulationError("mixed run produced zero elapsed time")
         return self.read_bytes / self.seconds / GB
 
     @property
     def write_gbps(self) -> float:
+        """Write-side bandwidth in decimal GB/s over the measured interval."""
         if self.seconds <= 0:
             raise SimulationError("mixed run produced zero elapsed time")
         return self.write_bytes / self.seconds / GB
 
     @property
     def total_gbps(self) -> float:
+        """Combined read+write bandwidth in decimal GB/s."""
         return self.read_gbps + self.write_gbps
 
 
@@ -444,7 +448,7 @@ def simulate_mixed(
 
     # Thread ids: readers first, writers after; writers' addresses are
     # offset so both sides stripe over the same DIMMs with disjoint data.
-    write_offset = 1 << 40
+    write_offset = TIB
     outstanding: list[list[float]] = [[] for _ in range(config.read_threads)]
     heap: list[tuple[float, int, int]] = [
         (float(phases[tid]), tid, tid) for tid in range(total_threads)
@@ -487,8 +491,8 @@ def simulate_mixed(
             service, media_bytes = engine._service_seconds(
                 side["config"], dimm, offset, chunk, side["per_dimm_rate"]
             )
-            if op is Op.READ and media_bytes == 0.0:
-                fragment_done = now + 10e-9
+            if op is Op.READ and media_bytes <= 0.0:
+                fragment_done = now + 10 * NS
             else:
                 start = max(now, dimm.free_at)
                 dimm.free_at = start + service

@@ -29,14 +29,15 @@ from repro.errors import ConfigurationError, WorkloadError
 from repro.memsim.bandwidth import BandwidthModel
 from repro.memsim.spec import Pattern
 from repro.memsim.topology import MediaKind
+from repro.units import GIB
 
 
 @dataclass(frozen=True)
 class MemoryModeConfig:
     """How much of PMEM/DRAM participates in Memory Mode on one socket."""
 
-    dram_cache_bytes: int = 93 * 1024**3  # the paper's 6 x 16 GB per socket
-    pmem_bytes: int = 768 * 1024**3       # 6 x 128 GB per socket
+    dram_cache_bytes: int = 93 * GIB  # the paper's 6 x 16 GB per socket
+    pmem_bytes: int = 768 * GIB       # 6 x 128 GB per socket
 
     def __post_init__(self) -> None:
         if self.dram_cache_bytes <= 0 or self.pmem_bytes <= 0:

@@ -38,6 +38,7 @@ class MixedOutcome:
 
     @property
     def total_gbps(self) -> float:
+        """Combined read+write bandwidth in decimal GB/s."""
         return self.read_gbps + self.write_gbps
 
     @property

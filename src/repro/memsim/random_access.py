@@ -21,7 +21,7 @@ from repro.errors import WorkloadError
 from repro.memsim.calibration import DeviceCalibration
 from repro.memsim.constants import OPTANE_LINE
 from repro.memsim.topology import MediaKind
-from repro.units import GB
+from repro.units import GB, NS
 
 
 def _check(spec_threads: int, access_size: int) -> None:
@@ -103,7 +103,7 @@ def pmem_random_write_issue(
     """
     _check(threads, access_size)
     p = cal.pmem
-    random_extra = 300e-9
+    random_extra = 300 * NS
     per_op = p.write_op_overhead + random_extra + access_size / (p.write_stream_rate * GB)
     return threads * access_size / per_op / GB
 
@@ -175,7 +175,7 @@ def random_bandwidth(
     region_bytes: int,
     wc_efficiency: float = 1.0,
 ) -> float:
-    """Dispatch helper used by the main bandwidth model."""
+    """Random-access bandwidth in decimal GB/s (dispatch helper)."""
     if media is MediaKind.PMEM:
         if op_is_read:
             return pmem_random_read(cal, threads, access_size)

@@ -42,7 +42,7 @@ class WearEstimate:
 
     @property
     def media_write_gbps(self) -> float:
-        """What the media actually absorbs, after amplification."""
+        """What the media actually absorbs in decimal GB/s, after amplification."""
         return self.app_write_gbps * self.write_amplification
 
     @property

@@ -23,6 +23,7 @@ within an operator) and phases add up.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
@@ -30,7 +31,7 @@ from repro.memsim import BandwidthModel, Layout, MediaKind, Op, PinningPolicy, S
 from repro.memsim.spec import Pattern
 from repro.ssb.engine.traffic import OperatorTraffic, QueryTraffic
 from repro.ssb.storage import SystemProfile
-from repro.units import GB
+from repro.units import GB, GIB, NS
 
 #: Last-level cache per socket (Xeon Gold 5220S: 24.75 MB).
 LLC_BYTES_PER_SOCKET: float = 24.75e6
@@ -40,10 +41,10 @@ LLC_BYTES_PER_SOCKET: float = 24.75e6
 #: :mod:`repro.ssb.engine.operators` express costs relative to it.
 #: Anchor: the Table 1 single-thread runs are partly CPU-bound (221 s on
 #: DRAM for Q2.1 at sf 100, with a probe per fact row).
-CPU_SECONDS_PER_TUPLE: float = 25e-9
+CPU_SECONDS_PER_TUPLE: float = 25 * NS
 
 #: Extra per-op latency of a random access crossing the UPI, seconds.
-FAR_RANDOM_EXTRA_LATENCY: float = 400e-9
+FAR_RANDOM_EXTRA_LATENCY: float = 400 * NS
 
 
 @dataclass
@@ -56,6 +57,7 @@ class PhaseCost:
 
     @property
     def seconds(self) -> float:
+        """Phase runtime in seconds: the slower of the CPU and memory legs."""
         return max(self.cpu_seconds, self.memory_seconds)
 
     @property
@@ -73,6 +75,7 @@ class CostBreakdown:
 
     @property
     def seconds(self) -> float:
+        """Total predicted query runtime in seconds."""
         return sum(p.seconds for p in self.phases)
 
     @property
@@ -159,7 +162,7 @@ class SsbCostModel:
         """
         if media is None:
             media = profile.effective_index_media
-        region = max(int(region_bytes), access_size) if region_bytes else 2 * 1024**3
+        region = max(int(region_bytes), access_size) if region_bytes else 2 * GIB
         per_socket = self.model.random_read(
             profile.threads_per_socket, access_size, media=media, region_bytes=region
         )
@@ -300,7 +303,7 @@ class SsbCostModel:
         """
         if scale_ratio <= 0:
             raise ConfigurationError("scale ratio must be positive")
-        if scale_ratio != 1.0 or region_factors:
+        if not math.isclose(scale_ratio, 1.0) or region_factors:
             scaled = traffic.scaled(scale_ratio, region_factors)
         else:
             scaled = traffic

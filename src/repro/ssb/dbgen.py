@@ -93,6 +93,7 @@ class SsbDatabase:
 
     @property
     def total_bytes(self) -> int:
+        """Total size of all table columns in bytes."""
         return sum(
             self.table(t.name).column_bytes() for t in schema.ALL_TABLES
         )

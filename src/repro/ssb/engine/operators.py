@@ -116,6 +116,7 @@ class JoinIndex:
 
     @property
     def memory_bytes(self) -> int:
+        """Footprint of the dimension index in bytes."""
         return self.index.memory_bytes
 
 

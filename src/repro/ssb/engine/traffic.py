@@ -44,6 +44,7 @@ class OperatorTraffic:
 
     @property
     def random_read_bytes(self) -> float:
+        """Bytes fetched by this operator's random reads."""
         return self.random_reads * self.random_read_size
 
     def scaled(
@@ -87,6 +88,7 @@ class QueryTraffic:
 
     @property
     def seq_read_bytes(self) -> float:
+        """Bytes read sequentially across all operators."""
         return sum(op.seq_read_bytes for op in self.operators)
 
     @property
@@ -95,10 +97,12 @@ class QueryTraffic:
 
     @property
     def random_read_bytes(self) -> float:
+        """Bytes fetched by random reads across all operators."""
         return sum(op.random_read_bytes for op in self.operators)
 
     @property
     def write_bytes(self) -> float:
+        """Bytes written (sequential + random) across all operators."""
         return sum(op.seq_write_bytes + op.random_write_bytes for op in self.operators)
 
     @property
@@ -107,6 +111,7 @@ class QueryTraffic:
 
     @property
     def total_bytes(self) -> float:
+        """All bytes the query moves to or from memory."""
         return self.seq_read_bytes + self.random_read_bytes + self.write_bytes
 
     def scaled(

@@ -36,10 +36,12 @@ class ChainStats:
 
     @property
     def read_bytes(self) -> int:
+        """Bytes read while probing (one 64-byte line per node visit)."""
         return self.node_reads * CACHE_LINE
 
     @property
     def write_bytes(self) -> int:
+        """Bytes written while building (one 64-byte line per node)."""
         return self.node_writes * CACHE_LINE
 
     @property
@@ -78,7 +80,7 @@ class ChainedIndex:
 
     @property
     def memory_bytes(self) -> int:
-        """Footprint: head array plus one 64 B line per node."""
+        """Footprint in bytes: head array plus one 64-byte line per node."""
         return self._n_buckets * 8 + self._size * CACHE_LINE
 
     def _bucket_of(self, keys: np.ndarray) -> np.ndarray:

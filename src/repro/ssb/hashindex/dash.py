@@ -68,14 +68,17 @@ class ProbeStats:
 
     @property
     def read_bytes(self) -> int:
+        """Bytes read while probing (one 256-byte XPLine per bucket)."""
         return (self.bucket_reads + self.stash_reads) * OPTANE_LINE
 
     @property
     def build_read_bytes(self) -> int:
+        """Bytes read while building, in 256-byte XPLines."""
         return self.build_reads * OPTANE_LINE
 
     @property
     def write_bytes(self) -> int:
+        """Bytes written, in 256-byte XPLines."""
         return self.bucket_writes * OPTANE_LINE
 
     @property
@@ -164,7 +167,7 @@ class DashIndex:
 
     @property
     def memory_bytes(self) -> int:
-        """Approximate PMEM footprint: buckets are 256 B lines."""
+        """Approximate PMEM footprint in bytes: buckets are 256-byte lines."""
         return self.segment_count * (BUCKETS_PER_SEGMENT + STASH_BUCKETS) * OPTANE_LINE
 
     # -- single-key operations ------------------------------------------

@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError, SchemaError
 from repro.memsim import BandwidthModel, MediaKind
 from repro.ssb import schema
 from repro.ssb.dbgen import SsbDatabase, Table
-from repro.units import GB
+from repro.units import GB, MIB
 
 
 def save_database(db: SsbDatabase, path: str | Path) -> Path:
@@ -76,6 +76,7 @@ class ImportEstimate:
 
     @property
     def seconds(self) -> float:
+        """Predicted transfer time in seconds for ``bytes`` at ``gbps``."""
         return self.bytes / (self.gbps * GB)
 
     def describe(self) -> str:
@@ -123,7 +124,7 @@ def import_advice(volume_bytes: int, model: BandwidthModel | None = None) -> str
     """
     model = model if model is not None else BandwidthModel()
     tuned = estimate_import(volume_bytes, threads=6, access_size=4096, model=model)
-    naive = estimate_import(volume_bytes, threads=36, access_size=1 << 20, model=model)
+    naive = estimate_import(volume_bytes, threads=36, access_size=MIB, model=model)
     saving = naive.seconds - tuned.seconds
     return "\n".join(
         [

@@ -41,15 +41,18 @@ class SsbRun:
 
     @property
     def seconds(self) -> dict[str, float]:
+        """Predicted runtime in seconds per query name."""
         return {name: b.seconds for name, b in self.breakdowns.items()}
 
     @property
     def average_seconds(self) -> float:
+        """Mean query runtime in seconds across the run."""
         if not self.breakdowns:
             raise ConfigurationError("run holds no queries")
         return sum(b.seconds for b in self.breakdowns.values()) / len(self.breakdowns)
 
     def flight_seconds(self, flight: int) -> float:
+        """Total runtime in seconds of one SSB query flight."""
         names = [q.name for q in ALL_QUERIES if q.flight == flight]
         return sum(self.breakdowns[n].seconds for n in names if n in self.breakdowns)
 

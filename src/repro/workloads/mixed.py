@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.memsim.scheduler import PinningPolicy
 from repro.memsim.spec import Layout, Op, StreamSpec
 from repro.memsim.topology import MediaKind
+from repro.units import GIB
 from repro.workloads.grids import SweepGrid, SweepPoint
 
 #: The writer counts of Fig. 11.
@@ -37,7 +38,7 @@ def mixed_grid(
                 media=media,
                 layout=Layout.INDIVIDUAL,
                 pinning=PinningPolicy.NUMA_REGION,
-                total_bytes=40 * 1024**3,
+                total_bytes=40 * GIB,
             )
             read = StreamSpec(
                 op=Op.READ,
@@ -46,7 +47,7 @@ def mixed_grid(
                 media=media,
                 layout=Layout.INDIVIDUAL,
                 pinning=PinningPolicy.NUMA_REGION,
-                total_bytes=40 * 1024**3,
+                total_bytes=40 * GIB,
             )
             points.append(
                 SweepPoint(

@@ -1,0 +1,24 @@
+"""Deliberately bad fixture: unseeded-random (SIM101) and set-iteration (SIM102).
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+import random
+import time
+
+import numpy as np
+
+
+def entropy_everywhere():
+    rng = np.random.default_rng()       # SIM101: no seed
+    jitter = random.random()            # SIM101: process-global RNG
+    shuffled = random.shuffle([1, 2])   # SIM101: process-global RNG
+    started = time.time()               # SIM101: wall clock
+    elapsed = time.perf_counter()       # SIM101: wall clock
+    return rng, jitter, shuffled, started, elapsed
+
+
+def order_dependent(results):
+    for key in {"q1", "q2", "q3"}:      # SIM102: set literal iteration
+        results.append(key)
+    return [r for r in set(results)]    # SIM102: set() call iteration

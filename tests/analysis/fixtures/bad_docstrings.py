@@ -1,0 +1,13 @@
+"""Deliberately bad fixture: units-docstring (SIM401).
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+
+def peak_gbps() -> float:               # SIM401: no docstring at all
+    return 39.4
+
+
+def elapsed_seconds() -> float:
+    """How long the run took."""        # SIM401: never names the unit
+    return 1.0

@@ -1,0 +1,24 @@
+"""Deliberately bad fixture: bare-except (SIM301), silent-except (SIM302),
+foreign-raise (SIM303).
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:                             # SIM301 (and SIM302: body is pass)
+        pass
+
+
+def swallow_quietly(work):
+    try:
+        return work()
+    except ValueError:
+        pass                            # SIM302: silent pass
+
+
+def wrong_taxonomy(value: int) -> None:
+    if value < 0:
+        raise RuntimeError("negative")  # SIM303: not a ReproError

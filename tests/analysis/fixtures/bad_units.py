@@ -1,0 +1,21 @@
+"""Deliberately bad fixture: unit-literal (SIM001) and unit-mix (SIM002).
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+REGION_BYTES = 2 * 1024**3          # SIM001: should be 2 * units.GIB
+CHUNK = 1 << 20                     # SIM001: should be units.MIB
+DECIMAL_GB = 1_000_000_000          # SIM001: should be units.GB
+READ_LATENCY = 10e-9                # SIM001: should be 10 * units.NS
+SCALE = 1e-6                        # SIM001: should be units.US
+POW2_REGION = 2**30                 # SIM001: should be units.GIB
+
+
+def broken_transfer_time(chunk_bytes: int, rate_gbps: float) -> float:
+    # SIM002: bytes divided by GB/s without units.seconds_for -- off by 1e9.
+    return chunk_bytes / rate_gbps
+
+
+def broken_total(total_bytes: int, peak_gbps: float) -> float:
+    # SIM002: adding bytes to a bandwidth is meaningless.
+    return total_bytes + peak_gbps

@@ -1,0 +1,34 @@
+"""Clean fixture: code following every convention; must produce no findings.
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+import math
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import GIB, NS, seconds_for
+
+REGION_BYTES = 2 * GIB
+READ_LATENCY = 10 * NS
+
+
+def transfer_seconds(chunk_bytes: int, rate_gbps: float) -> float:
+    """Time in seconds to move ``chunk_bytes`` at ``rate_gbps`` GB/s."""
+    if rate_gbps <= 0.0:
+        raise SimulationError("bandwidth collapsed to zero")
+    return seconds_for(chunk_bytes, rate_gbps)
+
+
+def near_one(ratio: float) -> bool:
+    """Whether a dimensionless ratio is within float noise of 1."""
+    return math.isclose(ratio, 1.0)
+
+
+def draw(seed: int, names: set[str]) -> list[str]:
+    """Deterministic shuffle of ``names`` under ``seed``."""
+    rng = np.random.default_rng(seed)
+    ordered = sorted(names)
+    rng.shuffle(ordered)
+    return ordered

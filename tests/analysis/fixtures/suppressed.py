@@ -1,0 +1,20 @@
+"""Fixture: every violation carries a suppression; must produce no findings.
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+EPSILON = 1e-9  # simlint: ignore[unit-literal] -- epsilon guard, not a unit
+REGION = 2 * 1024**3  # simlint: ignore[SIM001] -- codes work too
+
+
+def compare(a: float) -> bool:
+    """Exact comparison, justified."""
+    return a == 0.0  # simlint: ignore
+
+
+def hoover(work):
+    """Swallows everything, justified twice on one line."""
+    try:
+        return work()
+    except:  # simlint: ignore[bare-except, silent-except]
+        pass

@@ -1,0 +1,88 @@
+"""The simlint CLI: exit codes, JSON output, baseline writing."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_project(tmp_path, body: str, config: str = "") -> Path:
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\npaths = ['mod.py']\nbaseline = 'base.json'\n" + config
+    )
+    (tmp_path / "mod.py").write_text(body)
+    return tmp_path / "pyproject.toml"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1\n")
+        assert main(["--config", str(pyproject)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
+        assert main(["--config", str(pyproject)]) == 1
+        out = capsys.readouterr().out
+        assert "SIM201" in out and "mod.py:1" in out
+
+    def test_config_error_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.toml"
+        assert main(["--config", str(missing)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_path_exits_two(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1\n")
+        assert main(["--config", str(pyproject), str(tmp_path / "gone")]) == 2
+
+
+class TestJsonOutput:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
+        assert main(["--config", str(pyproject), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "SIM201"
+        assert finding["snippet"] == "x = 1.0 == 1.0"
+
+
+class TestRuleSelection:
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\ny = 2 * 1024**3\n")
+        assert main(["--config", str(pyproject), "--select", "unit-literal"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out and "SIM201" not in out
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1\n")
+        assert main(["--config", str(pyproject), "--select", "SIM999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SIM001" in out and "float-equality" in out
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
+        assert main(["--config", str(pyproject), "--write-baseline"]) == 0
+        entries = json.loads((tmp_path / "base.json").read_text())["entries"]
+        assert [e["rule"] for e in entries] == ["SIM201"]
+        assert main(["--config", str(pyproject)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_no_baseline_resurfaces_findings(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
+        assert main(["--config", str(pyproject), "--write-baseline"]) == 0
+        assert main(["--config", str(pyproject), "--no-baseline"]) == 1
+
+    def test_stale_entries_reported_as_note(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
+        assert main(["--config", str(pyproject), "--write-baseline"]) == 0
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["--config", str(pyproject)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out

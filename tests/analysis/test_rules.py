@@ -1,0 +1,130 @@
+"""Every simlint rule fires on its deliberately-bad fixture and stays
+silent on the clean one."""
+
+from pathlib import Path
+
+from repro.analysis import SimlintConfig, analyze_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Config anchored at the fixtures directory: default unit-literal
+#: allowlist (no fixture matches it) and determinism rules everywhere.
+CONFIG = SimlintConfig(root=FIXTURES)
+
+
+def run_fixture(name: str):
+    findings, suppressed = analyze_file(FIXTURES / name, CONFIG)
+    return findings, suppressed
+
+
+def codes(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestUnitRules:
+    def test_unit_literal_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_units.py")
+        literal_lines = {f.line for f in findings if f.rule == "SIM001"}
+        # 1024**3, 1 << 20, 1_000_000_000, 10e-9, 1e-6, 2**30
+        assert literal_lines == {6, 7, 8, 9, 10, 11}
+
+    def test_unit_literal_suggests_units_names(self):
+        findings, _ = run_fixture("bad_units.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM001")
+        for suggestion in ("units.GIB", "units.MIB", "units.GB",
+                           "units.NS", "units.US"):
+            assert suggestion in messages
+
+    def test_unit_mix_fires_on_div_and_add(self):
+        findings, _ = run_fixture("bad_units.py")
+        mixes = [f for f in findings if f.rule == "SIM002"]
+        assert len(mixes) == 2
+        assert {f.line for f in mixes} == {16, 21}
+
+    def test_access_size_1024_is_not_flagged(self, tmp_path):
+        target = tmp_path / "sizes.py"
+        target.write_text("SIZES = (64, 256, 1024, 4096)\n")
+        findings, _ = analyze_file(target, SimlintConfig(root=tmp_path))
+        assert findings == []
+
+
+class TestDeterminismRules:
+    def test_unseeded_random_fires(self):
+        findings, _ = run_fixture("bad_determinism.py")
+        unseeded = [f for f in findings if f.rule == "SIM101"]
+        assert len(unseeded) == 5
+        messages = " ".join(f.message for f in unseeded)
+        assert "default_rng" in messages
+        assert "wall clock" in messages
+
+    def test_set_iteration_fires(self):
+        findings, _ = run_fixture("bad_determinism.py")
+        assert len([f for f in findings if f.rule == "SIM102"]) == 2
+
+    def test_scope_confines_determinism_rules(self):
+        scoped = SimlintConfig(root=FIXTURES, determinism_paths=("memsim/",))
+        findings, _ = analyze_file(FIXTURES / "bad_determinism.py", scoped)
+        assert not codes(findings) & {"SIM101", "SIM102"}
+
+
+class TestFloatRule:
+    def test_float_equality_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_floats.py")
+        assert len([f for f in findings if f.rule == "SIM201"]) == 3
+
+    def test_ordered_comparison_not_flagged(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("def f(x):\n    return x <= 0.0 or x > 1.0\n")
+        findings, _ = analyze_file(target, SimlintConfig(root=tmp_path))
+        assert findings == []
+
+
+class TestExceptionRules:
+    def test_all_three_rules_fire(self):
+        findings, _ = run_fixture("bad_exceptions.py")
+        assert {"SIM301", "SIM302", "SIM303"} <= codes(findings)
+
+    def test_taxonomy_and_idiomatic_raises_allowed(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text(
+            "from repro.errors import SimulationError\n"
+            "def f():\n"
+            "    raise SimulationError('x')\n"
+            "def g(key):\n"
+            "    raise KeyError(key)\n"
+        )
+        findings, _ = analyze_file(target, SimlintConfig(root=tmp_path))
+        assert findings == []
+
+
+class TestDocstringRule:
+    def test_fires_on_missing_and_unitless_docstrings(self):
+        findings, _ = run_fixture("bad_docstrings.py")
+        by_line = {f.line: f for f in findings if f.rule == "SIM401"}
+        assert set(by_line) == {7, 11}
+        assert "no docstring" in by_line[7].message
+        assert "never names the unit" in by_line[11].message
+
+    def test_private_helpers_exempt(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text("def _scratch_gbps():\n    return 1.0\n")
+        findings, _ = analyze_file(target, SimlintConfig(root=tmp_path))
+        assert findings == []
+
+
+class TestCleanAndSuppressed:
+    def test_clean_fixture_has_no_findings(self):
+        findings, suppressed = run_fixture("clean.py")
+        assert findings == []
+        assert suppressed == 0
+
+    def test_suppressions_silence_by_name_code_and_bare(self):
+        findings, suppressed = run_fixture("suppressed.py")
+        assert findings == []
+        assert suppressed == 5  # SIM001 x2, SIM201, SIM301, SIM302
+
+    def test_parse_error_reported_as_finding(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def broken(:\n")
+        findings, _ = analyze_file(target, SimlintConfig(root=tmp_path))
+        assert [f.rule for f in findings] == ["SIM000"]

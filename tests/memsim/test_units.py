@@ -47,6 +47,14 @@ class TestBandwidthConversions:
         with pytest.raises(ValueError):
             seconds_for(1, -1.0)
 
+    def test_gbps_zero_duration_raises(self):
+        # Zero-length measurement intervals are a caller bug, not infinity.
+        with pytest.raises(ZeroDivisionError):
+            gbps(1024, 0.0)
+
+    def test_gbps_handles_zero_bytes(self):
+        assert gbps(0, 1.0) == 0.0
+
 
 class TestFormatting:
     @pytest.mark.parametrize(
@@ -60,4 +68,22 @@ class TestFormatting:
         ],
     )
     def test_fmt_bytes(self, n, expected):
+        assert fmt_bytes(n) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            # Exact boundaries: 1023 stays in bytes, 1024 promotes to KiB,
+            # and one byte short of a MiB still renders as KiB.
+            (0, "0B"),
+            (1023, "1023B"),
+            (1024, "1.0KiB"),
+            (MIB - 1, "1024.0KiB"),
+            (MIB, "1.0MiB"),
+            (GIB - 1, "1024.0MiB"),
+            # Beyond TiB there is no larger suffix; the count just grows.
+            (5000 * 1024**4, "5000.0TiB"),
+        ],
+    )
+    def test_fmt_bytes_boundaries(self, n, expected):
         assert fmt_bytes(n) == expected

@@ -109,3 +109,25 @@ class TestHybrid:
         out = capsys.readouterr().out
         assert "hybrid plan" in out
         assert "PMEM-only" in out and "DRAM-only" in out
+
+
+class TestLint:
+    def test_lint_json_smoke(self, capsys):
+        # The tree must be clean, so the subcommand exits 0 and emits a
+        # JSON report over the configured paths.
+        import json
+
+        assert main(["lint", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+        assert payload["files"] > 0
+
+    def test_lint_reports_findings_on_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = 1.0 == 1.0\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "SIM201" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "unit-literal" in capsys.readouterr().out

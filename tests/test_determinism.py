@@ -1,0 +1,58 @@
+"""Determinism regression: fixed seed => bit-identical results.
+
+This is the invariant the SIM101/SIM102 determinism lint rules exist to
+protect: rerunning a simulation with the same seed must reproduce every
+output float exactly, not approximately.
+"""
+
+import dataclasses
+import json
+
+from repro.memsim.engine import EngineConfig, simulate
+from repro.memsim.spec import Layout, Op, Pattern
+from repro.ssb.queries import ALL_QUERIES
+from repro.ssb.runner import SsbRunner
+from repro.ssb.storage import HANDCRAFTED_PMEM
+from repro.units import MIB
+
+
+class TestEngineDeterminism:
+    def test_same_seed_is_bit_identical(self):
+        def one_run():
+            config = EngineConfig(
+                op=Op.READ, threads=4, access_size=4096,
+                layout=Layout.GROUPED, pattern=Pattern.SEQUENTIAL,
+                total_bytes=8 * MIB, seed=11,
+            )
+            return dataclasses.asdict(simulate(config))
+
+        first, second = one_run(), one_run()
+        # Exact dict equality (== on floats is exact) plus a serialised
+        # comparison so NaN or -0.0 drift cannot hide behind __eq__.
+        assert first == second
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_random_pattern_same_seed_is_bit_identical(self):
+        def one_run():
+            config = EngineConfig(
+                op=Op.WRITE, threads=2, access_size=256,
+                pattern=Pattern.RANDOM, region_bytes=4 * MIB,
+                total_bytes=2 * MIB, seed=23,
+            )
+            return dataclasses.asdict(simulate(config))
+
+        assert one_run() == one_run()
+
+
+class TestSsbDeterminism:
+    def test_same_seed_query_pricing_is_bit_identical(self):
+        def one_run():
+            runner = SsbRunner(measured_sf=0.01, seed=5)
+            run = runner.run(
+                HANDCRAFTED_PMEM, target_sf=100.0, queries=(ALL_QUERIES[0],)
+            )
+            return run.seconds
+
+        first, second = one_run(), one_run()
+        assert first == second
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)

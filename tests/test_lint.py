@@ -1,0 +1,42 @@
+"""Tier-1 gate: the tree must be simlint-clean.
+
+Runs the analyzer in-process over the repo's own ``[tool.simlint]``
+configuration. Any new finding fails here — fix it, suppress it on the
+line with a justification, or (exceptionally) baseline it with a reason
+in ``simlint-baseline.json``.
+"""
+
+from pathlib import Path
+
+from repro.analysis import load_config, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def run_repo_analysis():
+    config = load_config(start=REPO_ROOT)
+    assert config.root == REPO_ROOT, "expected the repo's own pyproject.toml"
+    return run_analysis(config=config)
+
+
+def test_tree_has_no_new_findings():
+    report = run_repo_analysis()
+    assert report.findings == [], "new simlint findings:\n" + "\n".join(
+        f.render() for f in report.findings
+    )
+
+
+def test_baseline_has_no_stale_entries():
+    report = run_repo_analysis()
+    assert report.stale_baseline == [], (
+        "baseline entries whose findings were fixed; remove them from "
+        f"simlint-baseline.json: {report.stale_baseline}"
+    )
+
+
+def test_every_baseline_entry_has_a_reason():
+    from repro.analysis import Baseline
+
+    baseline = Baseline.load(REPO_ROOT / "simlint-baseline.json")
+    for entry in baseline.entries:
+        assert entry.get("reason", "").strip(), f"entry without reason: {entry}"
