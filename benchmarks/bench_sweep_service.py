@@ -1,0 +1,45 @@
+"""Benchmark: the sweep service's memo cache and thread fan-out.
+
+Regenerates Figure 3 (the largest grid sweep: access size x thread count
+x media) three ways — uncached, warm-cache, and with a 4-thread
+``SweepRunner`` — so the report quantifies what the pure-core refactor
+buys: a warm second regeneration should be far cheaper than a cold one,
+and the parallel run must stay bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig03 import run
+from repro.memsim import BandwidthModel, Op
+from repro.sweep import EvaluationService, SweepRunner
+from repro.workloads.sequential import sequential_sweep
+
+
+def _fresh_model() -> BandwidthModel:
+    return BandwidthModel(service=EvaluationService(memoize=False))
+
+
+def test_sweep_cold(benchmark):
+    """Full Figure 3 regeneration with caching disabled: the baseline."""
+    result = benchmark(lambda: run(_fresh_model()))
+    assert result.comparisons
+
+
+def test_sweep_warm_cache(benchmark):
+    """Regeneration against an already-populated memo cache."""
+    model = BandwidthModel(service=EvaluationService())
+    run(model)  # populate
+    result = benchmark(run, model)
+    benchmark.extra_info["hit_rate"] = round(model.service.stats.hit_rate, 3)
+    assert model.service.stats.hit_rate > 0.5
+    assert result.comparisons
+
+
+def test_sweep_parallel(benchmark):
+    """The raw grid fanned out on 4 threads, checked against serial."""
+    grid = sequential_sweep(Op.READ)
+    serial = SweepRunner(EvaluationService(memoize=False), jobs=1).totals(grid)
+    totals = benchmark(
+        lambda: SweepRunner(EvaluationService(memoize=False), jobs=4).totals(grid)
+    )
+    assert totals == serial

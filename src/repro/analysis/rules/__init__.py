@@ -7,5 +7,6 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     docstrings,
     exceptions,
     floats,
+    purity,
     units,
 )

@@ -1,0 +1,95 @@
+"""Purity rule.
+
+The pure-core refactor (DESIGN.md §4) makes every evaluation a function
+of ``(MachineConfig, streams, DirectoryState)`` so results can be
+memoized and fanned out across threads. That contract breaks silently if
+a simulation module keeps *mutable* state at module or class level: a
+list or dict shared across evaluations turns cache keys into lies and
+makes parallel sweeps order-dependent.
+
+* **SIM103 mutable-shared-state** — a module-level or class-level
+  assignment whose value is a mutable container (``list``/``dict``/
+  ``set`` literal or comprehension, or a bare ``list()``/``dict()``/
+  ``set()``/``bytearray()`` call) inside the configured determinism
+  paths. Use a tuple/frozenset/``MappingProxyType`` instead, or move the
+  container into the function that needs it. Dunder names (``__all__``)
+  are exempt, as are annotation-only declarations with no value.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+MUTABLE_SHARED_STATE = Rule(
+    code="SIM103",
+    name="mutable-shared-state",
+    summary="mutable module- or class-level container inside a simulation path",
+)
+
+#: Constructor calls that build an (empty or filled) mutable container.
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _mutable_container(node: ast.expr | None) -> str | None:
+    """The container kind if ``node`` builds a mutable container, else None."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CONSTRUCTORS:
+            return node.func.id
+    return None
+
+
+def _target_names(node: ast.stmt) -> list[str]:
+    if isinstance(node, ast.Assign):
+        return [t.id for t in node.targets if isinstance(t, ast.Name)]
+    if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        return [node.target.id]
+    return []
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+def _scope_findings(
+    body: list[ast.stmt], scope: str, prefix: str, ctx: FileContext
+) -> Iterator[Finding]:
+    for stmt in body:
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        kind = _mutable_container(stmt.value)
+        if kind is None:
+            continue
+        names = _target_names(stmt)
+        if names and all(_is_dunder(name) for name in names):
+            continue
+        label = ", ".join(prefix + name for name in names) or "<target>"
+        yield ctx.finding(
+            MUTABLE_SHARED_STATE, stmt,
+            f"{scope} '{label}' is a mutable {kind} shared across "
+            "evaluations; use a tuple/frozenset/immutable mapping, or build "
+            "the container inside the function that uses it",
+        )
+
+
+@register(MUTABLE_SHARED_STATE)
+def check_mutable_shared_state(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[Finding]:
+    if not ctx.config.in_determinism_scope(ctx.relpath):
+        return
+    yield from _scope_findings(module.body, "module-level", "", ctx)
+    for node in ast.walk(module):
+        if isinstance(node, ast.ClassDef):
+            yield from _scope_findings(
+                node.body, "class-level", f"{node.name}.", ctx
+            )

@@ -32,6 +32,15 @@ from repro.memsim import BandwidthModel, Layout, MediaKind, PinningPolicy
 from repro.memsim.spec import Pattern
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        # argparse's documented contract for type= callables: it becomes
+        # a usage error with exit code 2.
+        raise argparse.ArgumentTypeError("must be >= 1")  # simlint: ignore[foreign-raise] -- argparse type= contract
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -45,6 +54,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run experiments by id")
     run.add_argument("experiments", nargs="+", metavar="EXP",
                      help="experiment ids, e.g. fig7 table1")
+    run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                     help="evaluate sweep points on N threads (default 1; "
+                          "results are bit-identical to serial runs)")
+    run.add_argument("--cache-dir", metavar="PATH", default=None,
+                     help="persist evaluation results under PATH and reuse "
+                          "them across runs")
 
     sub.add_parser("report", help="print the paper-vs-measured report")
 
@@ -105,12 +120,34 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_ids: Sequence[str]) -> int:
+def _cmd_run(
+    experiment_ids: Sequence[str],
+    jobs: int = 1,
+    cache_dir: str | None = None,
+) -> int:
     from repro.experiments.registry import run_experiment
+    from repro.sweep import (
+        DiskCache,
+        EvaluationService,
+        default_service,
+        set_default_service,
+    )
 
-    for exp_id in experiment_ids:
-        print(run_experiment(exp_id).render())
-        print()
+    previous = None
+    if cache_dir is not None:
+        # Route every evaluation (experiments, SSB pricing, the façade)
+        # through a service backed by the on-disk cache for this command.
+        previous = set_default_service(
+            EvaluationService(disk_cache=DiskCache(cache_dir))
+        )
+    try:
+        for exp_id in experiment_ids:
+            print(run_experiment(exp_id, jobs=jobs).render())
+            print()
+        print(default_service().stats.describe())
+    finally:
+        if cache_dir is not None:
+            set_default_service(previous)
     return 0
 
 
@@ -246,7 +283,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments)
+        return _cmd_run(args.experiments, jobs=args.jobs, cache_dir=args.cache_dir)
     if args.command == "report":
         return _cmd_report()
     if args.command == "bandwidth":

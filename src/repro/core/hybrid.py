@@ -20,7 +20,8 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.memsim import BandwidthModel, MediaKind
+from repro.memsim import BandwidthModel, DirectoryState, MediaKind, Op, StreamSpec
+from repro.memsim.spec import Pattern
 from repro.units import GB
 
 
@@ -109,18 +110,28 @@ class HybridPlanner:
             raise ConfigurationError("need at least one thread")
         self.model = model if model is not None else BandwidthModel()
         self.threads = threads
+        # Placement decisions are steady-state comparisons, priced through
+        # the (memoized) evaluation service with an explicit warm state.
+        self._directory = DirectoryState.warm(self.model.topology)
 
     def _seconds(self, structure: Structure, media: MediaKind) -> float:
         """Time to move the structure's traffic on ``media``."""
         if structure.kind is StructureKind.SEQUENTIAL:
-            gbps = self.model.sequential_read(self.threads, 4096, media=media)
+            spec = StreamSpec(
+                op=Op.READ, threads=self.threads, access_size=4096, media=media
+            )
         else:
-            gbps = self.model.random_read(
-                self.threads,
-                structure.access_size,
+            spec = StreamSpec(
+                op=Op.READ,
+                threads=self.threads,
+                access_size=structure.access_size,
                 media=media,
+                pattern=Pattern.RANDOM,
                 region_bytes=max(structure.size_bytes, structure.access_size),
             )
+        gbps = self.model.service.evaluate(
+            self.model.config, (spec,), self._directory
+        ).total_gbps
         return structure.traffic_bytes / (gbps * GB)
 
     def benefit(self, structure: Structure) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.memsim import BandwidthModel, Layout, PinningPolicy
+from repro.memsim import BandwidthModel, DirectoryState, Layout, PinningPolicy
 from repro.memsim.spec import Op, Pattern, StreamSpec
 
 DEFAULT_ACCESS_SIZES: tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536)
@@ -86,6 +86,11 @@ def tune(
     """
     model = model if model is not None else BandwidthModel()
     space = space if space is not None else TuningSpace()
+    config, service = model.config, model.service
+    # Every candidate is scored against the same steady-state directory
+    # (memoized in the shared evaluation cache), so the sweep is pure and
+    # its order is irrelevant.
+    directory = DirectoryState.warm(config.topology)
     candidates: list[TuningCandidate] = []
     for threads in space.thread_counts:
         for size in space.access_sizes:
@@ -100,7 +105,7 @@ def tune(
                         pattern=pattern,
                         **spec_overrides,  # type: ignore[arg-type]
                     )
-                    gbps = model.evaluate([spec]).total_gbps
+                    gbps = service.evaluate(config, (spec,), directory).total_gbps
                     candidates.append(TuningCandidate(spec=spec, gbps=gbps))
     top_gbps = max(c.gbps for c in candidates)
     # Among configurations within half a percent of the optimum, prefer

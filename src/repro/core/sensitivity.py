@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import CalibrationError, ConfigurationError
 from repro.core.insights import verify_all
-from repro.memsim import BandwidthModel
+from repro.memsim import BandwidthModel, MachineConfig
 from repro.memsim.calibration import DeviceCalibration, paper_calibration
 
 #: The fitted parameters whose uncertainty matters most, as
@@ -123,10 +123,12 @@ def analyze(
             key = (f"{group}.{field_name}", factor)
             candidate = perturb(base, group, field_name, factor)
             try:
-                candidate.validate()
+                # MachineConfig validates on construction; an admissible
+                # candidate becomes a hashable config whose evaluations
+                # share the process-wide cache across perturbations.
+                config = MachineConfig(calibration=candidate)
             except CalibrationError:
                 report.rejected.append(key)
                 continue
-            model = BandwidthModel(calibration=candidate)
-            report.outcomes[key] = verify_all(model)
+            report.outcomes[key] = verify_all(BandwidthModel(config=config))
     return report

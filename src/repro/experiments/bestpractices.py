@@ -13,7 +13,7 @@ from repro.experiments.result import ExperimentResult
 from repro.memsim import BandwidthModel
 
 
-def run(model: BandwidthModel | None = None) -> ExperimentResult:
+def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(
         exp_id="bestpractices",

@@ -15,7 +15,7 @@ from repro.memsim.address import MappedRegion
 from repro.units import GIB
 
 
-def run(model: BandwidthModel | None = None) -> ExperimentResult:
+def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="daxmode", title="devdax vs fsdax (§2.3)")
 

@@ -13,10 +13,10 @@ from repro.memsim import BandwidthModel, Op, PinningPolicy
 from repro.workloads import pinning_sweep
 
 
-def run(model: BandwidthModel | None = None) -> ExperimentResult:
+def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     model = model_or_default(model)
     grid = pinning_sweep(Op.READ)
-    values = evaluate_grid(model, grid)
+    values = evaluate_grid(model, grid, jobs=jobs)
     result = ExperimentResult(
         exp_id="fig4", title="Read bandwidth dependent on thread pinning"
     )

@@ -3,6 +3,12 @@
 The first multi-threaded far traversal is capped by coherence-directory
 remapping (~8 GB/s, best with only 4 threads); the second run jumps to
 ~33 GB/s; near reads hit the 40 GB/s device peak.
+
+This is the one experiment that studies the *cold* path, so it threads
+explicit :class:`DirectoryState` values through the evaluation service:
+each thread count starts from :meth:`DirectoryState.cold`, and the
+"2nd Far" series re-evaluates against the first run's
+``directory_after`` — no model mutation anywhere.
 """
 
 from __future__ import annotations
@@ -10,24 +16,30 @@ from __future__ import annotations
 from repro.experiments import paperdata
 from repro.experiments.common import model_or_default
 from repro.experiments.result import ExperimentResult
-from repro.memsim import BandwidthModel
+from repro.memsim import BandwidthModel, DirectoryState, Op, StreamSpec
 
 
 THREADS = (1, 4, 8, 18, 24, 36)
 
 
-def run(model: BandwidthModel | None = None) -> ExperimentResult:
+def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     model = model_or_default(model)
+    config, service = model.config, model.service
     result = ExperimentResult(exp_id="fig5", title="Read NUMA effects")
 
     near = {str(t): model.sequential_read(t, 4096) for t in THREADS}
     cold = {}
     warm = {}
     for threads in THREADS:
-        model.reset_directory()
-        cold[str(threads)] = model.sequential_read(threads, 4096, far=True, warm=False)
-        # Second run on the now-warm directory (the paper's "2nd Far").
-        warm[str(threads)] = model.sequential_read(threads, 4096, far=True, warm=False)
+        far_spec = StreamSpec(
+            op=Op.READ, threads=threads, access_size=4096,
+            issuing_socket=0, target_socket=1,
+        )
+        first = service.evaluate(config, (far_spec,), DirectoryState.cold())
+        # Second run against the now-warm state (the paper's "2nd Far").
+        second = service.evaluate(config, (far_spec,), first.directory_after)
+        cold[str(threads)] = first.total_gbps
+        warm[str(threads)] = second.total_gbps
     result.add_series("near", near)
     result.add_series("far (1st run)", cold)
     result.add_series("far (2nd run)", warm)

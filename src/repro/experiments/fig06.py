@@ -10,18 +10,25 @@ from __future__ import annotations
 from repro.experiments import paperdata
 from repro.experiments.common import evaluate_grid, model_or_default
 from repro.experiments.result import ExperimentResult
-from repro.memsim import BandwidthModel, MediaKind, Op, StreamSpec, PinningPolicy
+from repro.memsim import (
+    BandwidthModel,
+    DirectoryState,
+    MediaKind,
+    Op,
+    PinningPolicy,
+    StreamSpec,
+)
 from repro.workloads import MULTISOCKET_READ_LABELS, multisocket_read_scenarios
 
 
-def run(model: BandwidthModel | None = None) -> ExperimentResult:
+def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(
         exp_id="fig6", title="Read from multiple sockets (PMEM and DRAM)"
     )
     for media, panel in ((MediaKind.PMEM, "a-pmem"), (MediaKind.DRAM, "b-dram")):
         grid = multisocket_read_scenarios(media=media)
-        values = evaluate_grid(model, grid)
+        values = evaluate_grid(model, grid, jobs=jobs)
         for label in MULTISOCKET_READ_LABELS:
             curve = {
                 str(point.params["threads"]): values[point.label]
@@ -41,14 +48,16 @@ def run(model: BandwidthModel | None = None) -> ExperimentResult:
     result.compare("DRAM 1 Far", paperdata.READ_1FAR_DRAM_GBPS, peak("b-dram", "1 Far"))
     result.compare("DRAM 2 Far", paperdata.READ_2FAR_DRAM_GBPS, peak("b-dram", "2 Far"))
 
-    # UPI utilization in the 2-Far scenario (§3.5: VTune shows 90%+).
-    model.warm_directory()
+    # UPI utilization in the 2-Far scenario (§3.5: VTune shows 90%+),
+    # evaluated against an explicit warm directory state.
     spec = StreamSpec(op=Op.READ, threads=18, pinning=PinningPolicy.NUMA_REGION)
-    two_far = model.evaluate(
-        [
+    two_far = model.service.evaluate(
+        model.config,
+        (
             spec.with_(issuing_socket=0, target_socket=1),
             spec.with_(issuing_socket=1, target_socket=0),
-        ]
+        ),
+        DirectoryState.warm(model.topology),
     )
     result.compare(
         "UPI utilization, 2 Far (§3.5: 90%+)",

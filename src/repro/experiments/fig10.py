@@ -10,14 +10,14 @@ from __future__ import annotations
 from repro.experiments import paperdata
 from repro.experiments.common import evaluate_grid, model_or_default
 from repro.experiments.result import ExperimentResult
-from repro.memsim import BandwidthModel, Op, PinningPolicy, StreamSpec
+from repro.memsim import BandwidthModel, DirectoryState, Op, PinningPolicy, StreamSpec
 from repro.workloads import MULTISOCKET_WRITE_LABELS, multisocket_write_scenarios
 
 
-def run(model: BandwidthModel | None = None) -> ExperimentResult:
+def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     model = model_or_default(model)
     grid = multisocket_write_scenarios()
-    values = evaluate_grid(model, grid)
+    values = evaluate_grid(model, grid, jobs=jobs)
     result = ExperimentResult(exp_id="fig10", title="Writing data to multiple sockets")
     for label in MULTISOCKET_WRITE_LABELS:
         curve = {
@@ -56,17 +56,18 @@ def run(model: BandwidthModel | None = None) -> ExperimentResult:
         max(result.series_values("1 Near 1 Far").values()),
     )
 
-    model.warm_directory()
-    far_run = model.evaluate(
-        [
+    far_run = model.service.evaluate(
+        model.config,
+        (
             StreamSpec(
                 op=Op.WRITE,
                 threads=18,
                 pinning=PinningPolicy.NUMA_REGION,
                 issuing_socket=0,
                 target_socket=1,
-            )
-        ]
+            ),
+        ),
+        DirectoryState.warm(model.topology),
     )
     result.compare(
         "far-write internal amplification (§4.4: up to 10x)",

@@ -16,6 +16,7 @@ from repro.ssb.runner import SsbRunner
 def run(
     model: BandwidthModel | None = None,
     runner: SsbRunner | None = None,
+    jobs: int = 1,
 ) -> ExperimentResult:
     runner = runner if runner is not None else SsbRunner(model=model)
     result = ExperimentResult(

@@ -6,8 +6,13 @@ Public surface:
   :func:`~repro.memsim.topology.build_topology` — hardware layout;
 * :func:`~repro.memsim.calibration.paper_calibration` — fitted device
   profile;
-* :class:`~repro.memsim.bandwidth.BandwidthModel` — the analytic
-  steady-state model behind every microbenchmark figure;
+* :class:`~repro.memsim.config.MachineConfig` /
+  :class:`~repro.memsim.config.DirectoryState` — the immutable inputs of
+  the pure evaluation core;
+* :func:`~repro.memsim.evaluation.evaluate` — the analytic steady-state
+  model behind every microbenchmark figure, as a pure function;
+* :class:`~repro.memsim.bandwidth.BandwidthModel` — the deprecated
+  mutable façade over it, kept for backward compatibility;
 * :class:`~repro.memsim.spec.StreamSpec` and friends — workload
   descriptions;
 * :mod:`repro.memsim.engine` — the discrete-event cross-check.
@@ -16,6 +21,8 @@ Public surface:
 from repro.memsim.address import DaxMode, InterleaveMap, MappedRegion
 from repro.memsim.bandwidth import BandwidthModel, BandwidthResult, StreamResult
 from repro.memsim.calibration import DeviceCalibration, paper_calibration
+from repro.memsim.config import DirectoryState, MachineConfig, paper_config
+from repro.memsim.evaluation import evaluate
 from repro.memsim.counters import PerfCounters
 from repro.memsim.memory_mode import MemoryModeConfig, MemoryModeModel
 from repro.memsim.mixed import MixedOutcome
@@ -29,7 +36,9 @@ __all__ = [
     "BandwidthResult",
     "DaxMode",
     "DeviceCalibration",
+    "DirectoryState",
     "InterleaveMap",
+    "MachineConfig",
     "Layout",
     "MappedRegion",
     "MediaKind",
@@ -45,7 +54,9 @@ __all__ = [
     "SystemTopology",
     "WearEstimate",
     "build_topology",
+    "evaluate",
     "paper_calibration",
+    "paper_config",
     "paper_server",
     "read_stream",
     "wear_from_counters",

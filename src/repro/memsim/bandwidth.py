@@ -1,95 +1,62 @@
-"""Analytic steady-state bandwidth model — the heart of the simulator.
+"""Backward-compatible façade over the pure evaluation core.
 
-Composes the component models (interleaving, buffers, prefetcher, iMC,
-UPI, scheduler) into achieved bandwidth for one or more concurrent
-:class:`~repro.memsim.spec.StreamSpec` groups. Every figure of the paper's
-microbenchmark sections (Figs. 3-13) is a sweep over this model; none of
-the figure modules contain bandwidth arithmetic of their own.
+.. deprecated::
+    :class:`BandwidthModel` predates the pure-core refactor and is kept
+    as a thin delegating façade. New code should use
+    :class:`~repro.memsim.config.MachineConfig` with
+    :func:`repro.memsim.evaluation.evaluate` (or, for sweeps, the cached
+    :class:`~repro.sweep.SweepRunner`) and thread
+    :class:`~repro.memsim.config.DirectoryState` values explicitly.
 
-The model computes, per stream:
-
-1. an **issue-side** bandwidth — threads x per-thread op rate, shaped by
-   hyperthread placement and pinning policy;
-2. a **media-side** ceiling — the device maximum scaled by the DIMM
-   parallelism the access pattern achieves, prefetcher effects,
-   write-combining efficiency, and sub-line amplification;
-3. **locality ceilings** — UPI capacity, cold-directory remapping, and
-   cross-socket queue pollution for far streams;
-
-and takes the minimum. Concurrent streams then interact through shared
-resources (mixed read/write interference, shared-target pollution, UPI
-direction capacity, DRAM package efficiency).
+The actual model — issue rates, media ceilings, locality effects, and
+cross-stream interactions — lives in :mod:`repro.memsim.evaluation` as a
+pure function of ``(MachineConfig, streams, DirectoryState)``. This
+module re-exports the result types and wraps the function in the old
+mutable-object interface: the façade owns a :class:`CoherenceDirectory`
+whose contents are converted to an explicit
+:class:`~repro.memsim.config.DirectoryState` for each call, and warmed
+in place from the result afterwards. All evaluations are routed through
+the process-wide :class:`~repro.sweep.EvaluationService`, so façade
+users share the memo cache with service-native callers.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
 
-from repro.errors import SimulationError, WorkloadError
+from repro.errors import WorkloadError
 from repro.memsim import mixed as mixed_model
-from repro.memsim import random_access
-from repro.memsim.address import DaxMode, InterleaveMap, MappedRegion, fsdax_bandwidth_factor
+from repro.memsim.address import DaxMode
 from repro.memsim.buffers import ReadBufferModel, WriteCombiningModel
-from repro.memsim.calibration import DeviceCalibration, paper_calibration
-from repro.memsim.counters import PerfCounters
+from repro.memsim.calibration import DeviceCalibration
+from repro.memsim.config import DirectoryState, MachineConfig, paper_config
+from repro.memsim.evaluation import BandwidthResult, StreamResult, components
 from repro.memsim.imc import ImcModel
 from repro.memsim.prefetcher import PrefetcherModel
 from repro.memsim.scheduler import PinningPolicy, SchedulerModel
 from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
-from repro.memsim.topology import MediaKind, SystemTopology, paper_server
+from repro.memsim.topology import MediaKind, SystemTopology
 from repro.memsim.upi import CoherenceDirectory, UpiModel
-from repro.units import GB, GIB
+from repro.units import GIB
 
-
-@dataclass(frozen=True)
-class StreamResult:
-    """Achieved bandwidth of one stream within an evaluation."""
-
-    spec: StreamSpec
-    gbps: float
-    solo_gbps: float
-    notes: tuple[str, ...] = ()
-
-
-@dataclass
-class BandwidthResult:
-    """Outcome of evaluating one or more concurrent streams."""
-
-    streams: tuple[StreamResult, ...]
-    counters: PerfCounters = field(default_factory=PerfCounters)
-
-    @property
-    def total_gbps(self) -> float:
-        """Aggregate bandwidth of all streams in decimal GB/s."""
-        return sum(s.gbps for s in self.streams)
-
-    @property
-    def read_gbps(self) -> float:
-        """Aggregate bandwidth of the read streams in decimal GB/s."""
-        return sum(s.gbps for s in self.streams if s.spec.is_read)
-
-    @property
-    def write_gbps(self) -> float:
-        """Aggregate bandwidth of the write streams in decimal GB/s."""
-        return sum(s.gbps for s in self.streams if not s.spec.is_read)
-
-
-@dataclass
-class _Solo:
-    """Intermediate per-stream evaluation before cross-stream effects."""
-
-    spec: StreamSpec
-    gbps: float
-    issue_gbps: float
-    media_cap_gbps: float
-    read_amplification: float = 1.0
-    write_amplification: float = 1.0
-    notes: list[str] = field(default_factory=list)
+__all__ = [
+    "BandwidthModel",
+    "BandwidthResult",
+    "StreamResult",
+    "effective_threads",
+    "is_finite_bandwidth",
+    "ssd_scan_bandwidth",
+]
 
 
 class BandwidthModel:
     """Steady-state bandwidth calculator for a configured server.
+
+    .. deprecated::
+        Thin façade kept for backward compatibility; prefer the pure
+        ``evaluate(MachineConfig, streams, DirectoryState)`` API (see the
+        module docstring). The façade adds nothing but mutable directory
+        bookkeeping on top of it.
 
     Parameters
     ----------
@@ -103,8 +70,14 @@ class BandwidthModel:
     write_combining_enabled:
         Model Optane's write-combining buffer (default). Disabling it is
         a pure what-if ablation.
+    config:
+        An already-built :class:`MachineConfig`; mutually exclusive with
+        the individual parameters above.
+    service:
+        Evaluation service to route calls through; defaults to the
+        process-wide shared service (and its shared memo cache).
 
-    The model holds one piece of mutable state: the cross-socket
+    The façade holds one piece of mutable state: the cross-socket
     :class:`CoherenceDirectory`. Far reads are slow until their
     (reader, home) pair has been touched, exactly like the paper's
     first-run measurements; :meth:`reset_directory` restores the cold
@@ -118,20 +91,81 @@ class BandwidthModel:
         *,
         prefetcher_enabled: bool = True,
         write_combining_enabled: bool = True,
+        config: MachineConfig | None = None,
+        service: object | None = None,
     ) -> None:
-        self.topology = topology if topology is not None else paper_server()
-        self.calibration = calibration if calibration is not None else paper_calibration()
-        self.calibration.validate()
-        cal = self.calibration
-        self.prefetcher = PrefetcherModel(cal.cpu, enabled=prefetcher_enabled)
-        self.write_combining = WriteCombiningModel(
-            cal.pmem, enabled=write_combining_enabled
-        )
-        self.read_buffer = ReadBufferModel(cal.pmem)
-        self.upi = UpiModel(cal.upi, cal.pmem)
-        self.imc = ImcModel()
-        self.scheduler = SchedulerModel(cal.cpu)
+        if config is not None:
+            if topology is not None or calibration is not None:
+                raise WorkloadError(
+                    "pass either config= or topology/calibration, not both"
+                )
+            self.config = config
+        elif (
+            topology is None
+            and calibration is None
+            and prefetcher_enabled
+            and write_combining_enabled
+        ):
+            # The common default case shares the cached paper config (and
+            # thereby its one-time calibration validation and cache keys).
+            self.config = paper_config()
+        else:
+            kwargs: dict[str, object] = {
+                "prefetcher_enabled": prefetcher_enabled,
+                "write_combining_enabled": write_combining_enabled,
+            }
+            if topology is not None:
+                kwargs["topology"] = topology
+            if calibration is not None:
+                kwargs["calibration"] = calibration
+            self.config = MachineConfig(**kwargs)  # type: ignore[arg-type]
+        self._service = service
         self.directory = CoherenceDirectory()
+
+    # ------------------------------------------------------------------
+    # delegated configuration views
+    # ------------------------------------------------------------------
+
+    @property
+    def topology(self) -> SystemTopology:
+        return self.config.topology
+
+    @property
+    def calibration(self) -> DeviceCalibration:
+        return self.config.calibration
+
+    @property
+    def prefetcher(self) -> PrefetcherModel:
+        return components(self.config).prefetcher
+
+    @property
+    def write_combining(self) -> WriteCombiningModel:
+        return components(self.config).write_combining
+
+    @property
+    def read_buffer(self) -> ReadBufferModel:
+        return components(self.config).read_buffer
+
+    @property
+    def upi(self) -> UpiModel:
+        return components(self.config).upi
+
+    @property
+    def imc(self) -> ImcModel:
+        return components(self.config).imc
+
+    @property
+    def scheduler(self) -> SchedulerModel:
+        return components(self.config).scheduler
+
+    @property
+    def service(self):
+        """The evaluation service this façade routes through."""
+        if self._service is not None:
+            return self._service
+        from repro.sweep.service import default_service
+
+        return default_service()
 
     # ------------------------------------------------------------------
     # directory state
@@ -147,508 +181,30 @@ class BandwidthModel:
             for b in self.topology.sockets:
                 self.directory.touch(a.socket_id, b.socket_id)
 
-    # ------------------------------------------------------------------
-    # per-thread issue rates
-    # ------------------------------------------------------------------
-
-    def _per_thread_rate(self, spec: StreamSpec) -> float:
-        """Sequential per-thread issue bandwidth in GB/s."""
-        cal = self.calibration
-        if spec.media is MediaKind.PMEM:
-            if spec.is_read:
-                overhead, rate = cal.pmem.read_op_overhead, cal.pmem.read_stream_rate
-            else:
-                overhead, rate = cal.pmem.write_op_overhead, cal.pmem.write_stream_rate
-        elif spec.media is MediaKind.DRAM:
-            if spec.is_read:
-                overhead, rate = cal.dram.read_op_overhead, cal.dram.read_stream_rate
-            else:
-                overhead, rate = cal.dram.write_op_overhead, cal.dram.write_stream_rate
-        else:
-            raise WorkloadError(f"unsupported media: {spec.media}")
-        per_op_seconds = overhead + spec.access_size / (rate * GB)
-        per_thread = spec.access_size / per_op_seconds / GB
-        if spec.far and not spec.is_read:
-            # Blocking stores see the full UPI round trip (§4.4).
-            per_thread *= cal.pmem.far_write_thread_factor
-        return per_thread
-
-    def _issue_bandwidth(self, spec: StreamSpec) -> float:
-        physical = self.topology.physical_core_count(spec.issuing_socket)
-        placement = self.scheduler.placement(spec.threads, physical)
-        if spec.pattern is Pattern.RANDOM:
-            # Random issue rates are latency-bound and computed in
-            # random_access; threads (incl. hyperthreads) scale fully.
-            raise SimulationError("random issue handled by random_access module")
-        if spec.is_read:
-            issue_threads = placement.effective_issue_threads
-        else:
-            # Store issue is not limited by the shared load machinery, so
-            # hyperthreads contribute fully (anchor: 64 B individual
-            # writes reach 9.6 GB/s with 36 threads, §4.1).
-            issue_threads = float(spec.threads)
-        return issue_threads * self._per_thread_rate(spec)
+    def directory_state(self) -> DirectoryState:
+        """The mutable directory's contents as an immutable state value."""
+        return DirectoryState(self.directory.warm_pairs)
 
     # ------------------------------------------------------------------
-    # media-side ceilings
-    # ------------------------------------------------------------------
-
-    def _interleave(self, spec: StreamSpec) -> InterleaveMap:
-        ways = self.topology.interleave_ways(spec.target_socket, spec.media)
-        if ways == 0:
-            raise WorkloadError(
-                f"no {spec.media.value} DIMMs on socket {spec.target_socket}"
-            )
-        return InterleaveMap(ways=ways)
-
-    def _sequential_read_media_cap(self, spec: StreamSpec) -> float:
-        cal = self.calibration
-        if spec.media is MediaKind.DRAM:
-            cap = cal.dram.seq_read_max
-            if spec.layout is Layout.GROUPED:
-                cap *= self.prefetcher.grouped_sequential_factor(spec.access_size)
-            return cap
-        interleave = self._interleave(spec)
-        per_dimm = cal.pmem.seq_read_max / interleave.ways
-        if spec.layout is Layout.GROUPED:
-            window = spec.threads * spec.access_size
-            parallelism = interleave.window_parallelism(window)
-            cap = per_dimm * parallelism
-            cap *= self.prefetcher.grouped_sequential_factor(spec.access_size)
-        else:
-            # Individual streams spread across DIMMs; prefetch depth keeps
-            # about two stripes in flight per stream (§3.1: access size is
-            # "not as relevant" for individual reads).
-            parallelism = min(interleave.ways, 2 * spec.threads)
-            cap = per_dimm * parallelism
-        return cap
-
-    def _sequential_write_media_cap(self, spec: StreamSpec) -> tuple[float, float]:
-        """Return ``(cap_gbps, write_amplification)`` for a write stream."""
-        cal = self.calibration
-        if spec.media is MediaKind.DRAM:
-            return cal.dram.seq_write_max, 1.0
-        interleave = self._interleave(spec)
-        per_dimm = cal.pmem.seq_write_max / interleave.ways
-        wc_eff = self.write_combining.efficiency(spec.threads, spec.access_size)
-        grouped = spec.layout is Layout.GROUPED
-        if grouped:
-            # The posted-write queues smooth the thread-to-DIMM imbalance
-            # slightly relative to reads, hence the +2 offset.
-            window = spec.threads * spec.access_size
-            parallelism = min(float(interleave.ways), 2.0 + window / interleave.granularity)
-            small_factor = self.write_combining.grouped_small_write_factor(
-                spec.access_size
-            )
-        else:
-            parallelism = min(interleave.ways, 2 * spec.threads)
-            small_factor = 1.0
-        cap = per_dimm * parallelism * wc_eff * small_factor
-        if spec.access_size < 1024:
-            # Sub-kilobyte stores never quite reach the 4 KB peak even
-            # with perfect combining (Fig. 7: the 256 B secondary peak
-            # sits near 10, not 12.6 GB/s).
-            cap *= (spec.access_size / 1024.0) ** 0.08
-        elif spec.access_size > 4096:
-            # Ops beyond the interleave granularity span several DIMMs
-            # and interrupt each other's combining slightly; 4 KB stays
-            # the global write maximum (Fig. 7: 12.6 GB/s at grouped 4 KB).
-            cap *= (4096.0 / spec.access_size) ** 0.02
-        amplification = self.write_combining.write_amplification(
-            spec.threads, spec.access_size, grouped
-        )
-        return cap, amplification
-
-    # ------------------------------------------------------------------
-    # solo evaluation
-    # ------------------------------------------------------------------
-
-    def _solo(self, spec: StreamSpec) -> _Solo:
-        if spec.pattern is Pattern.RANDOM:
-            return self._solo_random(spec)
-        return self._solo_sequential(spec)
-
-    def _solo_sequential(self, spec: StreamSpec) -> _Solo:
-        cal = self.calibration
-        physical = self.topology.physical_core_count(spec.issuing_socket)
-        issue = self._issue_bandwidth(spec)
-        notes: list[str] = []
-        read_amp = 1.0
-        write_amp = 1.0
-
-        if spec.is_read:
-            media_cap = self._sequential_read_media_cap(spec)
-            read_amp = self.read_buffer.sequential_amplification(spec.access_size)
-        else:
-            media_cap, write_amp = self._sequential_write_media_cap(spec)
-
-        # Hyperthread L2 pollution only affects the load side; the write
-        # boomerang is fully owned by the write-combining model.
-        if spec.is_read:
-            thread_factor = self.prefetcher.thread_scaling_factor(spec.threads, physical)
-        else:
-            thread_factor = 1.0
-        gbps = min(issue, media_cap)
-
-        if spec.pinning is PinningPolicy.NONE:
-            if spec.is_read:
-                ramp = min(1.0, spec.threads / cal.pmem.cold_far_read_best_threads)
-                envelope = self.scheduler.unpinned_read_envelope(
-                    cal.pmem.cold_far_read_max * ramp
-                )
-                if spec.media is MediaKind.DRAM:
-                    # DRAM NUMA penalties are weaker (§3.4 cites [41, 42]);
-                    # unpinned DRAM reads halve instead of collapsing.
-                    envelope = cal.dram.seq_read_max * 0.5
-                gbps = min(gbps, envelope)
-                notes.append("unpinned: scheduler migrations keep remapping cold")
-            else:
-                gbps *= self.scheduler.unpinned_write_factor()
-                notes.append("unpinned: cross-socket placements halve write bandwidth")
-        else:
-            gbps *= self.scheduler.pinned_factor(
-                spec.pinning, spec.threads, physical, write=not spec.is_read
-            )
-
-        gbps *= thread_factor
-
-        if spec.far and spec.pinning is not PinningPolicy.NONE:
-            gbps = self._apply_far_ceilings(spec, gbps, notes)
-            if not spec.is_read:
-                write_amp *= 1.0 + (cal.pmem.far_write_amplification_max - 1.0) * min(
-                    1.0, spec.threads / 18.0
-                )
-                # §4.4 reports *up to* 10x internal amplification.
-                write_amp = min(write_amp, cal.pmem.far_write_amplification_max)
-
-        gbps = self._apply_dax(spec, gbps, notes)
-        return _Solo(
-            spec=spec,
-            gbps=gbps,
-            issue_gbps=issue,
-            media_cap_gbps=media_cap,
-            read_amplification=read_amp,
-            write_amplification=write_amp,
-            notes=notes,
-        )
-
-    def _apply_far_ceilings(
-        self, spec: StreamSpec, gbps: float, notes: list[str]
-    ) -> float:
-        cal = self.calibration
-        if spec.is_read:
-            warm = self.directory.is_warm(spec.issuing_socket, spec.target_socket)
-            if spec.media is MediaKind.DRAM:
-                cap = self.upi.warm_far_read_cap(cal.dram.warm_far_read_max)
-                notes.append("far DRAM read: UPI-bound")
-            elif warm:
-                cap = self.upi.warm_far_read_cap(cal.pmem.warm_far_read_max)
-                notes.append("far PMEM read: directory warm")
-            else:
-                cap = self.upi.cold_far_read_cap(spec.threads)
-                notes.append("far PMEM read: first run, directory cold")
-            return min(gbps, cap)
-        if spec.media is MediaKind.DRAM:
-            return min(gbps, self.upi.data_cap_per_direction)
-        notes.append("far PMEM write: ntstore degrades to read-modify-write")
-        return min(gbps, cal.pmem.far_write_max)
-
-    def _solo_random(self, spec: StreamSpec) -> _Solo:
-        cal = self.calibration
-        wc_eff = 1.0
-        if spec.media is MediaKind.PMEM and not spec.is_read:
-            # Scattered stores put pressure on the combining buffer even
-            # at small access sizes (Fig. 13a: >6 threads always hurt).
-            wc_eff = self.write_combining.efficiency(
-                spec.threads, max(spec.access_size, 2048)
-            )
-        gbps = random_access.random_bandwidth(
-            cal,
-            spec.media,
-            spec.is_read,
-            spec.threads,
-            spec.access_size,
-            spec.region_bytes,
-            wc_efficiency=wc_eff,
-        )
-        notes: list[str] = []
-        read_amp = 1.0
-        write_amp = 1.0
-        if spec.media is MediaKind.PMEM:
-            if spec.is_read:
-                read_amp = self.read_buffer.random_amplification(spec.access_size)
-            else:
-                write_amp = self.write_combining.write_amplification(
-                    spec.threads, spec.access_size, grouped=False
-                )
-        if spec.pinning is PinningPolicy.NONE:
-            gbps *= 0.6
-            notes.append("unpinned random access")
-        elif spec.pinning is PinningPolicy.NUMA_REGION:
-            physical = self.topology.physical_core_count(spec.issuing_socket)
-            gbps *= self.scheduler.pinned_factor(
-                spec.pinning, spec.threads, physical, write=not spec.is_read
-            )
-        if spec.far:
-            cap = (
-                self.upi.warm_far_read_cap(cal.pmem.warm_far_read_max)
-                if spec.is_read
-                else cal.pmem.far_write_max
-            )
-            gbps = min(gbps, cap)
-            notes.append("far random access: UPI-bound")
-        gbps = self._apply_dax(spec, gbps, notes)
-        return _Solo(
-            spec=spec,
-            gbps=gbps,
-            issue_gbps=gbps,
-            media_cap_gbps=gbps,
-            read_amplification=read_amp,
-            write_amplification=write_amp,
-            notes=notes,
-        )
-
-    def _apply_dax(self, spec: StreamSpec, gbps: float, notes: list[str]) -> float:
-        """Apply fsdax steady-state and page-fault costs (§2.3)."""
-        if spec.media is not MediaKind.PMEM or spec.dax_mode is DaxMode.DEVDAX:
-            return gbps
-        cal = self.calibration
-        if not spec.prefaulted:
-            # The steady-state factor is the *amortised* cost of fsdax
-            # page faults over the paper's 70 GB sweeps; explicit fault
-            # counts and seconds are reported via the counters so callers
-            # (and the daxmode experiment) can reason about cold starts.
-            gbps *= fsdax_bandwidth_factor(cal.pmem.devdax_advantage)
-            region = MappedRegion(
-                size=spec.region_bytes, dax_mode=spec.dax_mode, prefaulted=False
-            )
-            notes.append(
-                f"fsdax: {region.pages} first-touch page faults "
-                f"(~{region.fault_cost(cal.pmem.page_fault_cost):.3f}s if cold)"
-            )
-        return gbps
-
-    # ------------------------------------------------------------------
-    # multi-stream evaluation
+    # evaluation
     # ------------------------------------------------------------------
 
     def evaluate(self, streams: list[StreamSpec] | tuple[StreamSpec, ...]) -> BandwidthResult:
         """Evaluate concurrent streams, resolving shared-resource effects.
 
-        Interaction rules, applied in order:
-
-        1. multiple sequential read streams from one socket share its
-           prefetcher (small multi-stream penalty, §5.1);
-        2. reads and writes on the same (target socket, media) interfere
-           (:mod:`repro.memsim.mixed`);
-        3. a target read/written from *both* sockets at once collapses to
-           the shared-target ceiling (§3.5 / §4.5);
-        4. both sockets reading their respective far PMEM pay queue
-           pollution on top of the UPI split (Fig. 6a "2 Far");
-        5. far payloads per UPI direction are scaled into link capacity;
-        6. both sockets streaming near DRAM reads pay the package
-           efficiency (Fig. 6b: 185, not 200 GB/s).
+        Delegates to the pure core via the evaluation service (see
+        :func:`repro.memsim.evaluation.evaluate` for the interaction
+        rules), then replays the resulting directory warm-up onto this
+        façade's mutable :class:`CoherenceDirectory` so repeated far
+        reads behave exactly as before the refactor.
         """
-        if not streams:
-            raise WorkloadError("evaluate() needs at least one stream")
-        for spec in streams:
-            self.topology.socket(spec.issuing_socket)
-            self.topology.socket(spec.target_socket)
-        solos = [self._solo(spec) for spec in streams]
-
-        self._apply_multi_stream_prefetch(solos)
-        self._apply_mixed_interference(solos)
-        self._apply_shared_target(solos)
-        self._apply_far_far_pollution(solos)
-        self._apply_upi_capacity(solos)
-        self._apply_dram_package_efficiency(solos)
-
-        counters = self._collect_counters(solos)
-        for solo in solos:
-            if solo.spec.far:
-                self.directory.touch(solo.spec.issuing_socket, solo.spec.target_socket)
-        results = tuple(
-            StreamResult(
-                spec=s.spec,
-                gbps=s.gbps,
-                solo_gbps=min(s.issue_gbps, s.media_cap_gbps),
-                notes=tuple(s.notes),
-            )
-            for s in solos
+        result = self.service.evaluate(
+            self.config, tuple(streams), self.directory_state()
         )
-        return BandwidthResult(streams=results, counters=counters)
-
-    def _apply_multi_stream_prefetch(self, solos: list[_Solo]) -> None:
-        by_socket: dict[int, list[_Solo]] = {}
-        for solo in solos:
-            if solo.spec.is_read and solo.spec.pattern is Pattern.SEQUENTIAL:
-                by_socket.setdefault(solo.spec.issuing_socket, []).append(solo)
-        for group in by_socket.values():
-            if len(group) > 1:
-                factor = self.prefetcher.multi_stream_factor(len(group))
-                for solo in group:
-                    solo.gbps *= factor
-                    solo.notes.append("prefetcher tracks multiple streams")
-
-    def _apply_mixed_interference(self, solos: list[_Solo]) -> None:
-        groups: dict[tuple[int, MediaKind], list[_Solo]] = {}
-        for solo in solos:
-            key = (solo.spec.target_socket, solo.spec.media)
-            groups.setdefault(key, []).append(solo)
-        for (_, media), group in groups.items():
-            reads = [s for s in group if s.spec.is_read]
-            writes = [s for s in group if not s.spec.is_read]
-            if not reads or not writes:
-                continue
-            read_total = sum(s.gbps for s in reads)
-            write_total = sum(s.gbps for s in writes)
-            outcome = mixed_model.resolve(self.calibration, media, read_total, write_total)
-            read_scale = outcome.read_gbps / read_total if read_total > 0 else 1.0
-            write_scale = outcome.write_gbps / write_total if write_total > 0 else 1.0
-            for solo in reads:
-                solo.gbps *= read_scale
-                solo.notes.append("mixed read/write interference")
-            for solo in writes:
-                solo.gbps *= write_scale
-                solo.notes.append("mixed read/write interference")
-
-    def _apply_shared_target(self, solos: list[_Solo]) -> None:
-        cal = self.calibration
-        groups: dict[tuple[int, MediaKind, Op], list[_Solo]] = {}
-        for solo in solos:
-            key = (solo.spec.target_socket, solo.spec.media, solo.spec.op)
-            groups.setdefault(key, []).append(solo)
-        for (_, media, op), group in groups.items():
-            issuers = {s.spec.issuing_socket for s in group}
-            if len(issuers) < 2:
-                continue
-            if op is Op.READ:
-                cap = (
-                    cal.pmem.shared_target_read_max
-                    if media is MediaKind.PMEM
-                    else cal.dram.shared_target_read_max
-                )
-                note = "near+far readers on one target: coherence writes + RPQ pollution"
-            else:
-                if media is not MediaKind.PMEM:
-                    continue
-                cap = cal.pmem.mixed_socket_write_max
-                note = "near+far writers on one target PMEM"
-            total = sum(s.gbps for s in group)
-            if total > cap:
-                scale = cap / total
-                for solo in group:
-                    solo.gbps *= scale
-                    solo.notes.append(note)
-
-    def _apply_far_far_pollution(self, solos: list[_Solo]) -> None:
-        far_reads = [s for s in solos if s.spec.far and s.spec.is_read]
-        directions = {(s.spec.issuing_socket, s.spec.target_socket) for s in far_reads}
-        if len(directions) < 2:
-            return
-        for solo in far_reads:
-            cap = (
-                self.calibration.pmem.far_far_read_per_socket
-                if solo.spec.media is MediaKind.PMEM
-                else self.calibration.dram.far_far_read_per_socket
-            )
-            if solo.gbps > cap:
-                solo.gbps = cap
-                solo.notes.append("both sockets read far: mutual queue pollution")
-
-    def _apply_upi_capacity(self, solos: list[_Solo]) -> None:
-        cap = self.upi.data_cap_per_direction
-        by_direction: dict[tuple[int, int], list[_Solo]] = {}
-        for solo in solos:
-            if not solo.spec.far:
-                continue
-            # Read data flows home -> issuer; write data issuer -> home.
-            if solo.spec.is_read:
-                direction = (solo.spec.target_socket, solo.spec.issuing_socket)
-            else:
-                direction = (solo.spec.issuing_socket, solo.spec.target_socket)
-            by_direction.setdefault(direction, []).append(solo)
-        for group in by_direction.values():
-            total = sum(s.gbps for s in group)
-            if total > cap:
-                scale = cap / total
-                for solo in group:
-                    solo.gbps *= scale
-                    solo.notes.append("UPI direction saturated")
-
-    def _apply_dram_package_efficiency(self, solos: list[_Solo]) -> None:
-        near_dram_reads = [
-            s
-            for s in solos
-            if s.spec.media is MediaKind.DRAM and s.spec.is_read and not s.spec.far
-        ]
-        sockets = {s.spec.issuing_socket for s in near_dram_reads}
-        if len(sockets) > 1:
-            eff = self.calibration.dram.dual_socket_efficiency
-            for solo in near_dram_reads:
-                solo.gbps *= eff
-                solo.notes.append("dual-socket DRAM package efficiency")
-
-    # ------------------------------------------------------------------
-    # counters
-    # ------------------------------------------------------------------
-
-    def _collect_counters(self, solos: list[_Solo]) -> PerfCounters:
-        counters = PerfCounters()
-        cal = self.calibration
-        upi_payload: dict[tuple[int, int], float] = {}
-        for solo in solos:
-            spec = solo.spec
-            volume = float(spec.total_bytes)
-            if spec.is_read:
-                counters.app_bytes_read += volume
-                counters.media_bytes_read += volume * solo.read_amplification
-            else:
-                counters.app_bytes_written += volume
-                counters.media_bytes_written += volume * solo.write_amplification
-                if spec.media is MediaKind.PMEM and solo.write_amplification > 1.0:
-                    # RMW amplification also reads the media line first.
-                    counters.media_bytes_read += volume * (
-                        solo.write_amplification - 1.0
-                    )
-            if spec.far:
-                counters.upi_bytes += volume
-                direction = (
-                    (spec.target_socket, spec.issuing_socket)
-                    if spec.is_read
-                    else (spec.issuing_socket, spec.target_socket)
-                )
-                upi_payload[direction] = upi_payload.get(direction, 0.0) + solo.gbps
-            if spec.media is MediaKind.PMEM and spec.dax_mode is DaxMode.FSDAX and not spec.prefaulted:
-                region = MappedRegion(size=spec.region_bytes, dax_mode=spec.dax_mode)
-                counters.page_faults += region.pages
-                counters.page_fault_seconds += region.fault_cost(
-                    cal.pmem.page_fault_cost
-                )
-            occupancy = self.imc.occupancy(
-                solo.issue_gbps,
-                max(solo.media_cap_gbps, 1e-9),  # simlint: ignore[unit-literal] -- epsilon guard, not a unit
-            )
-            if spec.is_read:
-                counters.rpq_occupancy = max(counters.rpq_occupancy, occupancy)
-            else:
-                counters.wpq_occupancy = max(counters.wpq_occupancy, occupancy)
-            counters.notes.extend(solo.notes)
-        if upi_payload:
-            # A direction carries its own payload's metadata plus request
-            # traffic for payload flowing the opposite way, which is why
-            # the paper's VTune run shows 90%+ utilization in the "2 Far"
-            # read scenario even though each direction moves ~25 GB/s.
-            reverse_request_fraction = 0.28
-            utilizations = []
-            for direction, payload in upi_payload.items():
-                reverse = upi_payload.get((direction[1], direction[0]), 0.0)
-                utilizations.append(
-                    self.upi.utilization(payload)
-                    + reverse * reverse_request_fraction / self.calibration.upi.raw_per_direction
-                )
-            counters.upi_utilization = min(1.0, max(utilizations))
-        return counters
+        if result.directory_after is not None:
+            for reader, home in sorted(result.directory_after.warm_pairs):
+                self.directory.touch(reader, home)
+        return result
 
     # ------------------------------------------------------------------
     # convenience entry points (used by figures, examples, and the SSB

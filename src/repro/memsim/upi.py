@@ -41,6 +41,17 @@ class CoherenceDirectory:
 
     _warm: set[tuple[int, int]] = field(default_factory=set)
 
+    @property
+    def warm_pairs(self) -> frozenset[tuple[int, int]]:
+        """Immutable snapshot of the warm (reader, home) pairs.
+
+        Used by the :class:`~repro.memsim.bandwidth.BandwidthModel`
+        façade to convert this mutable directory into an explicit
+        :class:`~repro.memsim.config.DirectoryState` value for the pure
+        evaluation core.
+        """
+        return frozenset(self._warm)
+
     def is_warm(self, reader_socket: int, home_socket: int) -> bool:
         if reader_socket == home_socket:
             return True

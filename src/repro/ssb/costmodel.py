@@ -27,7 +27,15 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.memsim import BandwidthModel, Layout, MediaKind, Op, PinningPolicy, StreamSpec
+from repro.memsim import (
+    BandwidthModel,
+    DirectoryState,
+    Layout,
+    MediaKind,
+    Op,
+    PinningPolicy,
+    StreamSpec,
+)
 from repro.memsim.spec import Pattern
 from repro.ssb.engine.traffic import OperatorTraffic, QueryTraffic
 from repro.ssb.storage import SystemProfile
@@ -109,8 +117,19 @@ class SsbCostModel:
         if cpu_seconds_per_tuple <= 0:
             raise ConfigurationError("CPU cost must be positive")
         self.model = model if model is not None else BandwidthModel()
-        self.model.warm_directory()
+        self.config = self.model.config
+        self.service = self.model.service
+        # All pricing is steady-state: far accesses are evaluated against
+        # an explicitly warm coherence directory instead of mutating the
+        # model (the cold path is Fig. 5's subject, not SSB's).
+        self._directory = DirectoryState.warm(self.config.topology)
         self.cpu_seconds_per_tuple = cpu_seconds_per_tuple
+
+    def _gbps(self, streams: list[StreamSpec]) -> float:
+        """Steady-state bandwidth of ``streams`` through the service."""
+        return self.service.evaluate(
+            self.config, tuple(streams), self._directory
+        ).total_gbps
 
     # ------------------------------------------------------------------
     # effective bandwidths
@@ -119,7 +138,7 @@ class SsbCostModel:
     def scan_gbps(self, profile: SystemProfile) -> float:
         """Sequential table-scan bandwidth of the deployment, GB/s."""
         if profile.tables_on_ssd:
-            return self.model.calibration.ssd.seq_read_max
+            return self.config.calibration.ssd.seq_read_max
         base = dict(
             op=Op.READ,
             threads=profile.threads_per_socket,
@@ -146,7 +165,7 @@ class SsbCostModel:
                 StreamSpec(**half, issuing_socket=1, target_socket=1),
                 StreamSpec(**half, issuing_socket=1, target_socket=0),
             ]
-        return self.model.evaluate(streams).total_gbps
+        return self._gbps(streams)
 
     def random_read_gbps(
         self,
@@ -163,8 +182,17 @@ class SsbCostModel:
         if media is None:
             media = profile.effective_index_media
         region = max(int(region_bytes), access_size) if region_bytes else 2 * GIB
-        per_socket = self.model.random_read(
-            profile.threads_per_socket, access_size, media=media, region_bytes=region
+        per_socket = self._gbps(
+            [
+                StreamSpec(
+                    op=Op.READ,
+                    threads=profile.threads_per_socket,
+                    access_size=access_size,
+                    media=media,
+                    pattern=Pattern.RANDOM,
+                    region_bytes=region,
+                )
+            ]
         )
         if media is MediaKind.PMEM and profile.dax_mode.value == "fsdax":
             per_socket /= 1.075
@@ -181,7 +209,7 @@ class SsbCostModel:
         if profile.numa_aware and profile.replicate_dimensions:
             return per_socket * 2
         # Half the probes cross the UPI and pay its latency per op.
-        cal = self.model.calibration
+        cal = self.config.calibration
         if media is MediaKind.PMEM:
             near_latency = cal.pmem.random_read_latency
             stream = cal.pmem.random_read_stream_rate
@@ -202,12 +230,17 @@ class SsbCostModel:
             threads = min(6, profile.threads_per_socket)
         else:
             threads = profile.threads_per_socket
-        per_socket = self.model.sequential_write(
-            threads,
-            4096,
-            media=media,
-            pinning=profile.pinning,
-            dax_mode=profile.dax_mode if media is MediaKind.PMEM else profile.dax_mode,
+        per_socket = self._gbps(
+            [
+                StreamSpec(
+                    op=Op.WRITE,
+                    threads=threads,
+                    access_size=4096,
+                    media=media,
+                    pinning=profile.pinning,
+                    dax_mode=profile.dax_mode,
+                )
+            ]
         )
         return per_socket * (profile.sockets if profile.numa_aware else 1)
 

@@ -1,0 +1,32 @@
+"""Sweep service: memoized, parallel evaluation of the pure memsim core.
+
+Layering (see DESIGN.md §4):
+
+* :mod:`repro.memsim.evaluation` supplies the pure function
+  ``evaluate(MachineConfig, streams, DirectoryState)``;
+* :class:`EvaluationService` wraps it in a content-keyed memo cache and
+  an optional on-disk cache (:class:`~repro.sweep.cache.DiskCache`);
+* :class:`SweepRunner` fans whole grids out over a thread pool with
+  bit-identical, order-independent results keyed by point label.
+
+Everything above this package — experiments, the SSB cost model, the
+core advisor/optimizer — evaluates bandwidth through here.
+"""
+
+from repro.sweep.cache import CacheStats, DiskCache, MemoCache
+from repro.sweep.runner import SweepRunner
+from repro.sweep.service import (
+    EvaluationService,
+    default_service,
+    set_default_service,
+)
+
+__all__ = [
+    "CacheStats",
+    "DiskCache",
+    "EvaluationService",
+    "MemoCache",
+    "SweepRunner",
+    "default_service",
+    "set_default_service",
+]

@@ -1,0 +1,224 @@
+"""Caches for the evaluation service: in-memory memo and on-disk store.
+
+Both caches key on the *content* of an evaluation request — the
+:class:`~repro.memsim.config.MachineConfig`, the stream tuple, and the
+(normalized) :class:`~repro.memsim.config.DirectoryState`. The memo
+cache uses the values' own hashes; the disk cache serializes the request
+to canonical JSON and keys files by its SHA-256. Results round-trip the
+disk format bit-identically: Python's JSON encoder emits ``repr(float)``
+(shortest round-tripping form), so every ``float`` survives exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.memsim.address import DaxMode
+from repro.memsim.config import DirectoryState, MachineConfig
+from repro.memsim.counters import PerfCounters
+from repro.memsim.evaluation import BandwidthResult, StreamResult
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
+from repro.memsim.topology import MediaKind
+
+#: One evaluation request: (config, streams, normalized directory).
+CacheKey = tuple[MachineConfig, tuple[StreamSpec, ...], DirectoryState]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`~repro.sweep.EvaluationService`."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total evaluation requests seen (count, not bytes)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from a cache, 0..1."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def describe(self) -> str:
+        line = (
+            f"evaluation cache: {self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate * 100.0:.1f}% hit rate)"
+        )
+        if self.disk_hits:
+            line += f", {self.disk_hits} served from disk"
+        return line
+
+
+class MemoCache:
+    """Thread-safe in-memory result store keyed by request content."""
+
+    def __init__(self) -> None:
+        self._results: dict[CacheKey, BandwidthResult] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def get(self, key: CacheKey) -> BandwidthResult | None:
+        with self._lock:
+            return self._results.get(key)
+
+    def put(self, key: CacheKey, result: BandwidthResult) -> None:
+        with self._lock:
+            self._results[key] = result
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()
+
+
+# ----------------------------------------------------------------------
+# canonical JSON encoding (disk keys and payloads)
+# ----------------------------------------------------------------------
+
+
+def _jsonable(value: object) -> object:
+    """Fallback encoder for the non-JSON types inside memsim dataclasses."""
+    if isinstance(value, (Op, Pattern, Layout, PinningPolicy, MediaKind, DaxMode)):
+        return value.value
+    if isinstance(value, frozenset):
+        return sorted(value)
+    if isinstance(value, tuple):
+        return list(value)
+    raise ConfigurationError(f"cannot serialize {type(value).__name__} for the cache")
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(payload, sort_keys=True, default=_jsonable)
+
+
+def request_digest(
+    config: MachineConfig,
+    streams: tuple[StreamSpec, ...],
+    directory: DirectoryState,
+) -> str:
+    """SHA-256 hex digest of the canonical JSON form of a request."""
+    payload = {
+        "config": dataclasses.asdict(config),
+        "streams": [dataclasses.asdict(s) for s in streams],
+        "directory": sorted(directory.warm_pairs),
+    }
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result: BandwidthResult) -> dict[str, object]:
+    """JSON-ready form of a :class:`BandwidthResult` (floats exact)."""
+    return {
+        "streams": [
+            {
+                "spec": dataclasses.asdict(s.spec),
+                "gbps": s.gbps,
+                "solo_gbps": s.solo_gbps,
+                "notes": list(s.notes),
+            }
+            for s in result.streams
+        ],
+        "counters": dataclasses.asdict(result.counters),
+        "directory_after": (
+            None
+            if result.directory_after is None
+            else sorted(result.directory_after.warm_pairs)
+        ),
+    }
+
+
+def _spec_from_payload(payload: dict[str, object]) -> StreamSpec:
+    return StreamSpec(
+        op=Op(payload["op"]),
+        threads=int(payload["threads"]),  # type: ignore[arg-type]
+        access_size=int(payload["access_size"]),  # type: ignore[arg-type]
+        media=MediaKind(payload["media"]),
+        pattern=Pattern(payload["pattern"]),
+        layout=Layout(payload["layout"]),
+        pinning=PinningPolicy(payload["pinning"]),
+        issuing_socket=int(payload["issuing_socket"]),  # type: ignore[arg-type]
+        target_socket=int(payload["target_socket"]),  # type: ignore[arg-type]
+        region_bytes=int(payload["region_bytes"]),  # type: ignore[arg-type]
+        total_bytes=int(payload["total_bytes"]),  # type: ignore[arg-type]
+        dax_mode=DaxMode(payload["dax_mode"]),
+        prefaulted=bool(payload["prefaulted"]),
+    )
+
+
+def result_from_payload(payload: dict[str, object]) -> BandwidthResult:
+    """Inverse of :func:`result_to_payload`."""
+    streams = tuple(
+        StreamResult(
+            spec=_spec_from_payload(entry["spec"]),
+            gbps=entry["gbps"],
+            solo_gbps=entry["solo_gbps"],
+            notes=tuple(entry["notes"]),
+        )
+        for entry in payload["streams"]  # type: ignore[union-attr]
+    )
+    counters_payload = dict(payload["counters"])  # type: ignore[arg-type]
+    counters_payload["notes"] = list(counters_payload.get("notes", []))
+    directory_after = payload.get("directory_after")
+    return BandwidthResult(
+        streams=streams,
+        counters=PerfCounters(**counters_payload),
+        directory_after=(
+            None
+            if directory_after is None
+            else DirectoryState(frozenset(
+                (pair[0], pair[1]) for pair in directory_after  # type: ignore[union-attr]
+            ))
+        ),
+    )
+
+
+class DiskCache:
+    """On-disk result store: one JSON file per request digest.
+
+    Layout: ``<root>/<digest[:2]>/<digest>.json``. Entries written by a
+    previous process are picked up transparently, which is what makes
+    ``repro run --cache-dir`` useful across invocations. Corrupt or
+    truncated entries are treated as misses and overwritten.
+    """
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cache directory {self.root} is not usable: {exc}"
+            ) from exc
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> BandwidthResult | None:
+        path = self._path(digest)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        try:
+            return result_from_payload(payload)
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, digest: str, result: BandwidthResult) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(_canonical(result_to_payload(result)), encoding="utf-8")
+        tmp.replace(path)

@@ -1,0 +1,137 @@
+"""Memoizing evaluation service over the pure memsim core.
+
+The service is the single funnel through which the reproduction
+evaluates bandwidth: experiments, the SSB cost model, the optimizer, the
+advisor, and the deprecated :class:`~repro.memsim.BandwidthModel` façade
+all call :meth:`EvaluationService.evaluate`. Because the core is pure,
+identical requests return identical (cached) results — the optimizer and
+the sensitivity analysis re-price the same grid points constantly, and
+regenerating a figure twice in one process is nearly free.
+
+Cache-key normalization: an evaluation can only observe the warmth of
+the far-read (issuing, target) socket pairs among its streams
+(:func:`repro.memsim.evaluation.observable_pairs`), so the directory is
+restricted to those pairs before keying. All near-only sweeps therefore
+share one entry regardless of the caller's directory state, while the
+full input state still determines the returned
+:attr:`~repro.memsim.evaluation.BandwidthResult.directory_after`.
+"""
+
+from __future__ import annotations
+
+from repro.memsim import evaluation
+from repro.memsim.config import DirectoryState, MachineConfig
+from repro.memsim.evaluation import BandwidthResult, observable_pairs
+from repro.memsim.spec import StreamSpec
+from repro.sweep.cache import CacheStats, DiskCache, MemoCache, request_digest
+
+
+class EvaluationService:
+    """Content-keyed memo (and optional disk) cache around ``evaluate``.
+
+    Parameters
+    ----------
+    disk_cache:
+        Optional :class:`~repro.sweep.cache.DiskCache`; consulted on memo
+        misses and populated on computes, making results reusable across
+        processes.
+    memoize:
+        Keep results in memory (default). Disabling is only useful for
+        measuring the uncached baseline in benchmarks.
+    """
+
+    def __init__(
+        self,
+        disk_cache: DiskCache | None = None,
+        *,
+        memoize: bool = True,
+    ) -> None:
+        self._memo = MemoCache() if memoize else None
+        self._disk = disk_cache
+        self.stats = CacheStats()
+
+    def evaluate(
+        self,
+        config: MachineConfig,
+        streams: list[StreamSpec] | tuple[StreamSpec, ...],
+        directory: DirectoryState | None = None,
+    ) -> BandwidthResult:
+        """Cached equivalent of :func:`repro.memsim.evaluation.evaluate`.
+
+        Returns an independent :class:`BandwidthResult` copy on cache
+        hits, so callers may freely annotate its counters. Bit-identical
+        to the uncached call — including ``directory_after``, which is
+        recomputed from the *full* input state on every call.
+        """
+        streams = tuple(streams)
+        state = directory if directory is not None else DirectoryState.cold()
+        normalized = state.restrict(observable_pairs(streams))
+        key = (config, streams, normalized)
+
+        cached = self._memo.get(key) if self._memo is not None else None
+        if cached is not None:
+            self.stats.hits += 1
+            return self._deliver(cached, streams, state)
+
+        digest: str | None = None
+        if self._disk is not None:
+            digest = request_digest(config, streams, normalized)
+            from_disk = self._disk.get(digest)
+            if from_disk is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                if self._memo is not None:
+                    self._memo.put(key, from_disk)
+                return self._deliver(from_disk, streams, state)
+
+        self.stats.misses += 1
+        result = evaluation.evaluate(config, streams, normalized)
+        if self._memo is not None:
+            self._memo.put(key, result)
+        if self._disk is not None and digest is not None:
+            self._disk.put(digest, result)
+        return self._deliver(result, streams, state)
+
+    @staticmethod
+    def _deliver(
+        stored: BandwidthResult,
+        streams: tuple[StreamSpec, ...],
+        state: DirectoryState,
+    ) -> BandwidthResult:
+        """Copy a stored result and rebase its directory_after on ``state``.
+
+        The stored result was computed against the *normalized* directory;
+        the caller's follow-up state must include everything the caller
+        already had warm plus this evaluation's far traversals.
+        """
+        result = stored.copy()
+        after = state
+        for stream in streams:
+            if stream.far:
+                after = after.touch(stream.issuing_socket, stream.target_socket)
+        result.directory_after = after
+        return result
+
+
+_DEFAULT_SERVICE: EvaluationService | None = None
+
+
+def default_service() -> EvaluationService:
+    """The process-wide shared service (created on first use)."""
+    global _DEFAULT_SERVICE
+    if _DEFAULT_SERVICE is None:
+        _DEFAULT_SERVICE = EvaluationService()
+    return _DEFAULT_SERVICE
+
+
+def set_default_service(service: EvaluationService | None) -> EvaluationService | None:
+    """Replace the process-wide service; returns the previous one.
+
+    Pass ``None`` to reset (a fresh default is created on next use).
+    Used by the CLI to install a disk-backed service and by tests to
+    isolate cache statistics.
+    """
+    global _DEFAULT_SERVICE
+    previous = _DEFAULT_SERVICE
+    _DEFAULT_SERVICE = service
+    return previous

@@ -1,0 +1,23 @@
+"""Deliberately bad fixture: mutable shared state (SIM103).
+
+Analyzed by tests/analysis/test_rules.py; never imported.
+"""
+
+__all__ = ["Evaluator"]        # exempt: dunder
+
+_CACHE = {}                    # SIM103: module-level dict literal
+SEEN = set()                   # SIM103: module-level set() call
+HISTORY: list[str] = []        # SIM103: annotated module-level list literal
+SIZES = (64, 256, 4096)        # clean: immutable tuple
+NAMES = frozenset({"a", "b"})  # clean: immutable frozenset
+
+
+class Evaluator:
+    results = []               # SIM103: class-level list literal
+    by_label: dict = dict()    # SIM103: class-level dict() call
+    limit = 4                  # clean: immutable scalar
+
+    def evaluate(self, spec):
+        local = {}             # clean: function-local containers are fine
+        local[spec] = 1.0
+        return local

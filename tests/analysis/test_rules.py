@@ -67,6 +67,42 @@ class TestDeterminismRules:
         assert not codes(findings) & {"SIM101", "SIM102"}
 
 
+class TestPurityRule:
+    def test_mutable_shared_state_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_purity.py")
+        flagged = [f for f in findings if f.rule == "SIM103"]
+        # module: {} / set() / annotated []; class: [] / dict()
+        assert len(flagged) == 5
+        messages = " ".join(f.message for f in flagged)
+        assert "module-level" in messages
+        assert "class-level" in messages
+        assert "Evaluator.results" in messages
+
+    def test_dunders_and_immutables_exempt(self):
+        findings, _ = run_fixture("bad_purity.py")
+        messages = " ".join(f.message for f in findings)
+        assert "__all__" not in messages
+        assert "SIZES" not in messages
+        assert "NAMES" not in messages
+
+    def test_function_locals_not_flagged(self, tmp_path):
+        target = tmp_path / "ok.py"
+        target.write_text(
+            "def evaluate(specs):\n"
+            "    acc = {}\n"
+            "    for spec in specs:\n"
+            "        acc[spec] = 1.0\n"
+            "    return acc\n"
+        )
+        findings, _ = analyze_file(target, SimlintConfig(root=tmp_path))
+        assert findings == []
+
+    def test_scope_confines_purity_rule(self):
+        scoped = SimlintConfig(root=FIXTURES, determinism_paths=("memsim/",))
+        findings, _ = analyze_file(FIXTURES / "bad_purity.py", scoped)
+        assert "SIM103" not in codes(findings)
+
+
 class TestFloatRule:
     def test_float_equality_fires_on_every_shape(self):
         findings, _ = run_fixture("bad_floats.py")

@@ -1,0 +1,36 @@
+"""Acceptance: regenerating every experiment reuses the evaluation cache."""
+
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.sweep import EvaluationService, default_service, set_default_service
+
+
+def test_second_full_pass_is_mostly_cache_hits():
+    previous = set_default_service(EvaluationService())
+    try:
+        service = default_service()
+        for exp_id in REGISTRY:
+            run_experiment(exp_id)
+        first_hits, first_misses = service.stats.hits, service.stats.misses
+        assert first_misses > 0
+        for exp_id in REGISTRY:
+            run_experiment(exp_id)
+        second_hits = service.stats.hits - first_hits
+        second_misses = service.stats.misses - first_misses
+        rate = second_hits / (second_hits + second_misses)
+        assert rate > 0.5, f"second-pass hit rate {rate:.0%}"
+    finally:
+        set_default_service(previous)
+
+
+def test_single_experiment_twice_hits_cache():
+    previous = set_default_service(EvaluationService())
+    try:
+        service = default_service()
+        run_experiment("fig7")
+        baseline = service.stats.hits
+        misses_before = service.stats.misses
+        run_experiment("fig7")
+        assert service.stats.misses == misses_before  # all hits
+        assert service.stats.hits > baseline
+    finally:
+        set_default_service(previous)

@@ -1,0 +1,99 @@
+"""SweepRunner: parallel, interleaved, and cached runs are bit-identical."""
+
+from repro.memsim import DirectoryState, MachineConfig, Op, StreamSpec, paper_config
+from repro.sweep import EvaluationService, SweepRunner
+from repro.workloads.grids import SweepGrid, SweepPoint
+
+
+def make_grid(name: str = "grid", threads=(1, 2, 4, 8, 18, 24, 36)) -> SweepGrid:
+    points = []
+    for t in threads:
+        for op in (Op.READ, Op.WRITE):
+            points.append(
+                SweepPoint(
+                    label=f"{op.value}-{t}",
+                    params={"threads": t, "op": op.value},
+                    streams=(StreamSpec(op=op, threads=t, access_size=4096),),
+                )
+            )
+    for t in threads:
+        points.append(
+            SweepPoint(
+                label=f"far-{t}",
+                params={"threads": t, "op": "far"},
+                streams=(
+                    StreamSpec(
+                        op=Op.READ, threads=t, access_size=4096,
+                        issuing_socket=0, target_socket=1,
+                    ),
+                ),
+            )
+        )
+    return SweepGrid(name=name, points=tuple(points))
+
+
+class TestParallelism:
+    def test_jobs_4_bit_identical_to_jobs_1(self):
+        grid = make_grid()
+        serial = SweepRunner(EvaluationService(memoize=False), jobs=1).run(grid)
+        threaded = SweepRunner(EvaluationService(memoize=False), jobs=4).run(grid)
+        assert list(serial) == list(threaded)  # same labels, same order
+        for label in serial:
+            assert serial[label].total_gbps == threaded[label].total_gbps
+            assert serial[label].counters == threaded[label].counters
+            assert serial[label].directory_after == threaded[label].directory_after
+
+    def test_jobs_share_one_memo_cache(self):
+        service = EvaluationService()
+        grid = make_grid()
+        SweepRunner(service, jobs=4).run(grid)
+        SweepRunner(service, jobs=4).run(grid)
+        assert service.stats.hits >= len(grid)
+
+    def test_results_keyed_and_ordered_by_label(self):
+        grid = make_grid(threads=(1, 4))
+        results = SweepRunner(EvaluationService(), jobs=2).run(grid)
+        assert list(results) == grid.labels()
+
+    def test_totals_match_run(self):
+        grid = make_grid(threads=(1, 4))
+        runner = SweepRunner(EvaluationService(), jobs=2)
+        assert runner.totals(grid) == {
+            label: result.total_gbps for label, result in runner.run(grid).items()
+        }
+
+
+class TestIsolation:
+    def test_interleaved_sweeps_match_isolated(self):
+        """Running two sweeps point-by-point interleaved must equal
+        running each alone: no evaluation can leak state into the next."""
+        config = paper_config()
+        ablated = MachineConfig(prefetcher_enabled=False)
+        warm = DirectoryState.warm(config.topology)
+        grid = make_grid(threads=(1, 8, 36))
+
+        alone = EvaluationService(memoize=False)
+        expected_a = [
+            alone.evaluate(config, p.streams, warm).total_gbps for p in grid
+        ]
+        expected_b = [
+            alone.evaluate(ablated, p.streams, warm).total_gbps for p in grid
+        ]
+
+        mixed = EvaluationService()
+        got_a, got_b = [], []
+        for point in grid:  # interleave the two sweeps on one service
+            got_a.append(mixed.evaluate(config, point.streams, warm).total_gbps)
+            got_b.append(mixed.evaluate(ablated, point.streams, warm).total_gbps)
+        assert got_a == expected_a
+        assert got_b == expected_b
+
+    def test_every_point_sees_the_same_directory(self):
+        """Grid order must not matter: a far point early in the grid does
+        not warm the directory for a far point later in the grid."""
+        grid = make_grid(threads=(4,))
+        reversed_grid = SweepGrid(name="rev", points=tuple(reversed(grid.points)))
+        runner = SweepRunner(EvaluationService(), jobs=1)
+        forward = runner.totals(grid, directory=DirectoryState.cold())
+        backward = runner.totals(reversed_grid, directory=DirectoryState.cold())
+        assert forward == backward
