@@ -10,13 +10,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.memsim import BandwidthModel
+from repro.memsim import BandwidthModel, Op
 from repro.ssb.runner import SsbRunner
+from repro.workloads.sequential import sequential_sweep
 
 
 @pytest.fixture(scope="session")
 def model() -> BandwidthModel:
     return BandwidthModel()
+
+
+@pytest.fixture(scope="session")
+def fig3_grid():
+    # The Figure 3 read sweep: the shared workload for the sweep-service
+    # and observability-overhead benches, so their numbers are comparable.
+    return sequential_sweep(Op.READ)
 
 
 @pytest.fixture(scope="session")

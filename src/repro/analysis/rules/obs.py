@@ -1,0 +1,55 @@
+"""Observability naming rule.
+
+* **SIM104 counter-name** — string literals passed to ``.incr(...)`` /
+  ``.observe(...)`` must follow the counter catalogue convention
+  (:mod:`repro.obs.catalog`): at least two dotted ``lower_snake``
+  segments with a unit suffix (``_bytes``, ``_count``, ``_seconds``,
+  ``_ratio``, ``_gbps``). A misspelt unit suffix silently forks a
+  counter — the golden tests would pin the typo, and the report renderer
+  would scale it wrongly — so the name is checked where it is written.
+
+Only literal first arguments are checked: dynamically built names
+(f-strings such as the per-DIMM counters) cannot be validated
+statically and are instead validated at runtime by the obs test suite.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+from repro.obs.catalog import validate_name
+
+COUNTER_NAME = Rule(
+    code="SIM104",
+    name="counter-name",
+    summary="recorder counter name violates the dotted lower_snake + unit-suffix convention",
+)
+
+#: Recorder methods whose first argument is a catalogue-governed name.
+_COUNTER_METHODS = frozenset({"incr", "observe"})
+
+
+@register(COUNTER_NAME)
+def check_counter_names(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _COUNTER_METHODS:
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not isinstance(first, ast.Constant) or not isinstance(first.value, str):
+            continue
+        reason = validate_name(first.value)
+        if reason is not None:
+            yield ctx.finding(
+                COUNTER_NAME, first,
+                f"counter name {first.value!r} {reason}; expected "
+                "dotted.lower_snake segments ending in a unit suffix "
+                "(_bytes, _count, _seconds, _ratio, _gbps)",
+            )

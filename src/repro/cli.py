@@ -6,6 +6,12 @@ Commands
     List the reproducible experiments (figures/tables).
 ``run <exp-id> [...]``
     Run one or more experiments and print their rendered results.
+    ``--metrics`` additionally collects observability counters
+    (``repro.obs``) and prints them after the results; ``-o FILE``
+    writes the counter snapshot as canonical JSON.
+``trace <exp-id>``
+    Run one experiment under a :class:`~repro.obs.TraceRecorder` and
+    emit the span/event stream as JSON Lines (stdout or ``-o FILE``).
 ``report``
     Print the full paper-vs-measured markdown report (EXPERIMENTS.md body).
 ``bandwidth``
@@ -60,6 +66,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-dir", metavar="PATH", default=None,
                      help="persist evaluation results under PATH and reuse "
                           "them across runs")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect observability counters during the run and "
+                          "print a report after the results")
+    run.add_argument("-o", "--output", metavar="FILE", default=None,
+                     help="with --metrics: also write the counter snapshot "
+                          "as canonical JSON to FILE")
+
+    trace = sub.add_parser(
+        "trace", help="run one experiment and emit its trace as JSON Lines"
+    )
+    trace.add_argument("experiment", metavar="EXP",
+                       help="experiment id, e.g. fig3")
+    trace.add_argument("-o", "--output", metavar="FILE", default=None,
+                       help="write the JSONL trace to FILE instead of stdout")
+    trace.add_argument("--timestamps", action="store_true",
+                       help="stamp every record with a wall-clock 't' field "
+                            "(seconds; makes the trace nondeterministic)")
 
     sub.add_parser("report", help="print the paper-vs-measured report")
 
@@ -124,8 +147,13 @@ def _cmd_run(
     experiment_ids: Sequence[str],
     jobs: int = 1,
     cache_dir: str | None = None,
+    metrics: bool = False,
+    output: str | None = None,
 ) -> int:
+    import contextlib
+
     from repro.experiments.registry import run_experiment
+    from repro.obs import CountersRecorder, using_recorder
     from repro.sweep import (
         DiskCache,
         EvaluationService,
@@ -133,6 +161,11 @@ def _cmd_run(
         set_default_service,
     )
 
+    recorder = CountersRecorder() if metrics else None
+    scope = (
+        using_recorder(recorder) if recorder is not None
+        else contextlib.nullcontext()
+    )
     previous = None
     if cache_dir is not None:
         # Route every evaluation (experiments, SSB pricing, the façade)
@@ -141,13 +174,46 @@ def _cmd_run(
             EvaluationService(disk_cache=DiskCache(cache_dir))
         )
     try:
-        for exp_id in experiment_ids:
-            print(run_experiment(exp_id, jobs=jobs).render())
-            print()
+        with scope:
+            for exp_id in experiment_ids:
+                print(run_experiment(exp_id, jobs=jobs).render())
+                print()
         print(default_service().stats.describe())
     finally:
         if cache_dir is not None:
             set_default_service(previous)
+    if recorder is not None:
+        from repro.obs.report import render_recorder
+
+        print()
+        print(render_recorder(recorder))
+        if output is not None:
+            from repro.obs.golden import canonical_json
+
+            with open(output, "w", encoding="utf-8") as handle:
+                handle.write(canonical_json(recorder.snapshot()))
+            print(f"wrote metrics snapshot to {output}")
+    return 0
+
+
+def _cmd_trace(experiment_id: str, output: str | None, timestamps: bool) -> int:
+    import time
+
+    from repro.experiments.registry import run_experiment
+    from repro.obs import TraceRecorder, using_recorder
+
+    recorder = TraceRecorder(
+        clock=time.perf_counter if timestamps else None,
+        record_observations=timestamps,
+    )
+    with using_recorder(recorder):
+        with recorder.span("experiment", exp_id=experiment_id):
+            run_experiment(experiment_id)
+    if output is not None:
+        recorder.export_jsonl(output)
+        print(f"wrote {len(recorder)} trace records to {output}")
+    else:
+        sys.stdout.write(recorder.export_jsonl())
     return 0
 
 
@@ -283,7 +349,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
-        return _cmd_run(args.experiments, jobs=args.jobs, cache_dir=args.cache_dir)
+        return _cmd_run(
+            args.experiments,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            metrics=args.metrics,
+            output=args.output,
+        )
+    if args.command == "trace":
+        return _cmd_trace(args.experiment, args.output, args.timestamps)
     if args.command == "report":
         return _cmd_report()
     if args.command == "bandwidth":

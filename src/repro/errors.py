@@ -37,6 +37,15 @@ class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 
 
+class SweepError(SimulationError):
+    """A sweep point failed to evaluate.
+
+    Wraps the underlying exception (available as ``__cause__``) and
+    names the failing grid and point label — a thread pool's traceback
+    alone would not say *which* of a few hundred points was poisoned.
+    """
+
+
 class SchemaError(ReproError):
     """A benchmark table schema was violated (bad column, wrong dtype)."""
 

@@ -27,6 +27,7 @@ import heapq
 import numpy as np
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError, WorkloadError
 from repro.memsim.address import InterleaveMap
@@ -37,6 +38,9 @@ from repro.memsim.engine.trace import build_traces
 from repro.memsim.spec import Layout, Op, Pattern
 from repro.memsim.topology import MediaKind, SystemTopology, paper_server
 from repro.units import GB, MIB, NS, TIB
+
+if TYPE_CHECKING:
+    from repro.obs import Recorder
 
 
 @dataclass(frozen=True)
@@ -120,6 +124,17 @@ class _Dimm:
     free_at: float = 0.0
     bytes_served: int = 0
     media_bytes: float = 0.0
+    #: Application bytes the read-side line buffer answered without any
+    #: media traffic (the ``dropped`` leg of the per-DIMM accounting
+    #: identity ``issued == queued + dropped``).
+    buffer_bytes: int = 0
+    #: Line-buffer hit/miss tallies (256 B media lines).
+    buffer_hit_lines: int = 0
+    buffer_miss_lines: int = 0
+    #: Write fragments combined at full efficiency vs. those that paid
+    #: combining pressure (partial-line flushes).
+    wc_hit_ops: int = 0
+    wc_miss_ops: int = 0
     #: Thread ids of recently serviced ops, for stream-concurrency sensing
     #: (drives the emergent write-combining pressure).
     recent_threads: deque[int] = field(default_factory=lambda: deque(maxlen=32))
@@ -141,8 +156,10 @@ class _Dimm:
         for line in range(first_line, last_line + 1):
             if line in self.line_buffer:
                 self.line_buffer.move_to_end(line)
+                self.buffer_hit_lines += 1
                 continue
             media += OPTANE_LINE
+            self.buffer_miss_lines += 1
             self.line_buffer[line] = None
             while len(self.line_buffer) > self.line_buffer_capacity:
                 self.line_buffer.popitem(last=False)
@@ -212,6 +229,10 @@ class DiscreteEventEngine:
                         config.access_size
                     )
                 media_bytes = bytes_on_dimm / efficiency
+                if media_bytes <= float(bytes_on_dimm):
+                    dimm.wc_hit_ops += 1
+                else:
+                    dimm.wc_miss_ops += 1
             else:
                 media_bytes = dimm.media_read_bytes(address, bytes_on_dimm)
         # Buffer hits still move data over the channel, at a fraction of
@@ -221,8 +242,15 @@ class DiscreteEventEngine:
 
     # ------------------------------------------------------------------
 
-    def run(self, config: EngineConfig) -> EngineResult:
-        """Replay the configured trace; return achieved bandwidth."""
+    def run(
+        self, config: EngineConfig, *, recorder: "Recorder | None" = None
+    ) -> EngineResult:
+        """Replay the configured trace; return achieved bandwidth.
+
+        ``recorder`` is a write-only :mod:`repro.obs` sink; the replay's
+        per-DIMM tallies (issued/queued/buffer-dropped bytes, line-buffer
+        and write-combining hits) are emitted to it after the run.
+        """
         ways = self.topology.interleave_ways(0, config.media)
         interleave = InterleaveMap(ways=ways)
         per_dimm_rate, op_overhead, stream_rate = self._rates(config)
@@ -253,6 +281,7 @@ class DiscreteEventEngine:
         end_time = 0.0
         bytes_moved = 0
         media_total = 0.0
+        ops = 0
 
         while heap:
             now, _, tid = heapq.heappop(heap)
@@ -260,6 +289,7 @@ class DiscreteEventEngine:
                 address, size = next(iterators[tid])
             except StopIteration:
                 continue
+            ops += 1
 
             if config.op is Op.READ:
                 # In-order retirement: the pending list is FIFO by issue
@@ -289,6 +319,7 @@ class DiscreteEventEngine:
                 if config.op is Op.READ and media_bytes <= 0.0:
                     # Read-buffer hit: served at channel speed, bypassing
                     # the media queue entirely.
+                    dimm.buffer_bytes += chunk
                     fragment_done = now + 10 * NS
                 else:
                     start = max(now, dimm.free_at)
@@ -322,6 +353,27 @@ class DiscreteEventEngine:
 
         if bytes_moved == 0:
             raise SimulationError("trace produced no operations")
+        if recorder is not None and recorder.enabled:
+            from repro.obs import probes
+
+            probes.emit_engine(
+                recorder,
+                [
+                    (
+                        d.bytes_served,
+                        d.bytes_served - d.buffer_bytes,
+                        d.buffer_bytes,
+                        d.buffer_hit_lines,
+                        d.buffer_miss_lines,
+                        d.wc_hit_ops,
+                        d.wc_miss_ops,
+                    )
+                    for d in dimms
+                ],
+                ops,
+                bytes_moved,
+                media_total,
+            )
         return EngineResult(
             seconds=end_time,
             bytes_moved=bytes_moved,
@@ -330,9 +382,13 @@ class DiscreteEventEngine:
         )
 
 
-def simulate(config: EngineConfig, **engine_kwargs: object) -> EngineResult:
+def simulate(
+    config: EngineConfig,
+    recorder: "Recorder | None" = None,
+    **engine_kwargs: object,
+) -> EngineResult:
     """One-shot convenience wrapper around :class:`DiscreteEventEngine`."""
-    return DiscreteEventEngine(**engine_kwargs).run(config)
+    return DiscreteEventEngine(**engine_kwargs).run(config, recorder=recorder)
 
 
 @dataclass(frozen=True)

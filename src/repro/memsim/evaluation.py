@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.errors import SimulationError, WorkloadError
 from repro.memsim import mixed as mixed_model
@@ -50,6 +51,9 @@ from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
 from repro.memsim.topology import MediaKind
 from repro.memsim.upi import UpiModel
 from repro.units import GB
+
+if TYPE_CHECKING:
+    from repro.obs import Recorder
 
 
 @dataclass(frozen=True)
@@ -147,6 +151,8 @@ def evaluate(
     config: MachineConfig,
     streams: list[StreamSpec] | tuple[StreamSpec, ...],
     directory: DirectoryState | None = None,
+    *,
+    recorder: "Recorder | None" = None,
 ) -> BandwidthResult:
     """Evaluate concurrent streams, resolving shared-resource effects.
 
@@ -154,6 +160,11 @@ def evaluate(
     read pays the remapping penalty exactly like the paper's first-run
     measurements; pass :meth:`DirectoryState.warm` (or a previous
     result's :attr:`~BandwidthResult.directory_after`) for steady state.
+
+    ``recorder`` is a write-only observability sink
+    (:mod:`repro.obs`); it never influences the result and is excluded
+    from the sweep service's cache keys, so passing one preserves
+    purity. ``None`` (the default) skips all emission.
 
     Interaction rules, applied in order:
 
@@ -199,6 +210,19 @@ def evaluate(
         )
         for s in solos
     )
+    if recorder is not None and recorder.enabled:
+        # Imported lazily: the emission branch is cold by definition, and
+        # the lazy import keeps repro.obs entirely off the default path.
+        from repro.obs import probes
+
+        probes.emit_evaluation(
+            recorder,
+            config,
+            [(s.spec, s.gbps, s.read_amplification, s.write_amplification) for s in solos],
+            counters,
+            state,
+            after,
+        )
     return BandwidthResult(streams=results, counters=counters, directory_after=after)
 
 

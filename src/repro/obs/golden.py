@@ -1,0 +1,77 @@
+"""Golden-snapshot helpers: canonical serialisation and exact diffing.
+
+A *golden* is a :meth:`~repro.obs.recorder.CountersRecorder.snapshot`
+serialised as sorted, indented JSON. Because the whole pipeline is
+deterministic pure-float arithmetic and Python's JSON encoder emits
+``repr(float)`` (the shortest round-tripping form), a golden read back
+from disk equals a freshly recorded snapshot *bit for bit* — so the
+regression tests compare with exact equality and report every differing
+counter by name.
+
+Updating a golden (``pytest --update-goldens``) is legitimate exactly
+when the model intentionally changed — a recalibration, a new mechanism,
+a new counter — and the diff in the golden file is part of reviewing
+that change. It is never the fix for an unexplained diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def canonical_json(snapshot: dict[str, object]) -> str:
+    """Serialise a snapshot as sorted, indented JSON (trailing newline)."""
+    return json.dumps(snapshot, sort_keys=True, indent=2) + "\n"
+
+
+def write_golden(path: Path | str, snapshot: dict[str, object]) -> None:
+    """Write ``snapshot`` to ``path`` in canonical form."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(canonical_json(snapshot), encoding="utf-8")
+
+
+def load_golden(path: Path | str) -> dict[str, object]:
+    """Read a golden snapshot back (floats round-trip exactly)."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def _diff_section(
+    section: str,
+    expected: dict[str, object],
+    actual: dict[str, object],
+) -> list[str]:
+    lines: list[str] = []
+    for name in sorted(set(expected) | set(actual)):
+        if name not in actual:
+            lines.append(f"{section}: {name} missing (expected {expected[name]!r})")
+        elif name not in expected:
+            lines.append(f"{section}: {name} unexpected (got {actual[name]!r})")
+        elif expected[name] != actual[name]:
+            lines.append(
+                f"{section}: {name} expected {expected[name]!r}, "
+                f"got {actual[name]!r}"
+            )
+    return lines
+
+
+def diff_snapshots(
+    expected: dict[str, object], actual: dict[str, object]
+) -> list[str]:
+    """Named differences between two snapshots (empty list = identical).
+
+    Every line names the counter/histogram/event that differs, so a
+    failing golden test says *which mechanism* moved, not just that
+    something did.
+    """
+    lines: list[str] = []
+    for section in ("counters", "histograms", "events", "spans"):
+        lines.extend(
+            _diff_section(
+                section,
+                dict(expected.get(section, {})),  # type: ignore[arg-type]
+                dict(actual.get(section, {})),  # type: ignore[arg-type]
+            )
+        )
+    return lines

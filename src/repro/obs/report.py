@@ -1,0 +1,81 @@
+"""Pretty-printer for counter snapshots (``repro run --metrics``).
+
+Renders a :meth:`~repro.obs.recorder.CountersRecorder.snapshot` as
+aligned text sections, resolving each name's unit and meaning from the
+:mod:`~repro.obs.catalog` so the reader never has to guess whether a
+number is bytes, a tally, or a ratio.
+"""
+
+from __future__ import annotations
+
+from repro.obs.catalog import describe
+from repro.obs.recorder import CountersRecorder
+from repro.units import GB, MIB
+
+
+def _format_value(name: str, value: float) -> str:
+    """Human form of one counter value, scaled by its unit suffix."""
+    if name.endswith("_bytes"):
+        if value >= GB:
+            return f"{value / GB:,.2f} GB"
+        if value >= MIB:
+            return f"{value / MIB:,.1f} MiB"
+        return f"{value:,.0f} B"
+    if name.endswith("_ratio"):
+        return f"{value * 100.0:.1f}%"
+    if name.endswith("_seconds"):
+        return f"{value:,.4f} s"
+    if name.endswith("_gbps"):
+        return f"{value:,.2f} GB/s"
+    if float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def _annotate(name: str) -> str:
+    spec = describe(name)
+    return f"  # {spec.description}" if spec is not None else ""
+
+
+def render_snapshot(snapshot: dict[str, object]) -> str:
+    """Aligned multi-section text form of a counter snapshot."""
+    lines: list[str] = []
+    counters: dict[str, float] = dict(snapshot.get("counters", {}))  # type: ignore[arg-type]
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(
+                f"  {name:<{width}}  {_format_value(name, counters[name]):>14}"
+                f"{_annotate(name)}"
+            )
+    histograms: dict[str, dict[str, float]] = dict(snapshot.get("histograms", {}))  # type: ignore[arg-type]
+    if histograms:
+        lines.append("histograms:")
+        width = max(len(name) for name in histograms)
+        for name in sorted(histograms):
+            h = histograms[name]
+            count = int(h.get("count", 0))
+            mean = h.get("total", 0.0) / count if count else 0.0
+            lines.append(
+                f"  {name:<{width}}  n={count:<6} "
+                f"min={_format_value(name, h.get('min', 0.0))} "
+                f"mean={_format_value(name, mean)} "
+                f"max={_format_value(name, h.get('max', 0.0))}"
+                f"{_annotate(name)}"
+            )
+    for section in ("events", "spans"):
+        tallies: dict[str, int] = dict(snapshot.get(section, {}))  # type: ignore[arg-type]
+        if tallies:
+            lines.append(f"{section}:")
+            width = max(len(name) for name in tallies)
+            for name in sorted(tallies):
+                lines.append(f"  {name:<{width}}  x{tallies[name]}")
+    if not lines:
+        return "no observations recorded"
+    return "\n".join(lines)
+
+
+def render_recorder(recorder: CountersRecorder) -> str:
+    """Convenience: render a live recorder's snapshot."""
+    return render_snapshot(recorder.snapshot())

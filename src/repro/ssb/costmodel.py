@@ -37,6 +37,7 @@ from repro.memsim import (
     StreamSpec,
 )
 from repro.memsim.spec import Pattern
+from repro.obs import Recorder, default_recorder
 from repro.ssb.engine.traffic import OperatorTraffic, QueryTraffic
 from repro.ssb.storage import SystemProfile
 from repro.units import GB, GIB, NS
@@ -325,6 +326,8 @@ class SsbCostModel:
         profile: SystemProfile,
         scale_ratio: float = 1.0,
         region_factors: dict[str, float] | None = None,
+        *,
+        recorder: Recorder | None = None,
     ) -> CostBreakdown:
         """Predict the runtime of ``traffic`` under ``profile``.
 
@@ -332,7 +335,9 @@ class SsbCostModel:
         scale factor to the paper's (e.g. executed at sf 0.1, priced for
         sf 100 with ``scale_ratio=1000``); ``region_factors`` override
         the growth of per-table random-access regions (part and date do
-        not grow linearly).
+        not grow linearly). ``recorder`` (default: the process-wide
+        :func:`repro.obs.default_recorder`) receives per-operator traffic
+        events and the priced byte totals; it never affects the result.
         """
         if scale_ratio <= 0:
             raise ConfigurationError("scale ratio must be positive")
@@ -343,4 +348,36 @@ class SsbCostModel:
         breakdown = CostBreakdown(query=traffic.query, profile=profile.name)
         for operator in scaled.operators:
             breakdown.phases.append(self._phase(operator, profile))
+        rec = recorder if recorder is not None else default_recorder()
+        if rec.enabled:
+            self._emit(rec, scaled, profile, breakdown)
         return breakdown
+
+    @staticmethod
+    def _emit(
+        rec: Recorder,
+        scaled: QueryTraffic,
+        profile: SystemProfile,
+        breakdown: CostBreakdown,
+    ) -> None:
+        """Emit one pricing pass: per-operator events plus byte totals."""
+        with rec.span("ssb.price", query=scaled.query, profile=profile.name):
+            for operator, phase in zip(scaled.operators, breakdown.phases):
+                rec.event(
+                    "ssb.operator",
+                    query=scaled.query,
+                    operator=operator.name,
+                    seq_read_bytes=operator.seq_read_bytes,
+                    random_reads=operator.random_reads,
+                    random_read_size=operator.random_read_size,
+                    write_bytes=operator.seq_write_bytes + operator.random_write_bytes,
+                    cpu_seconds=phase.cpu_seconds,
+                    memory_seconds=phase.memory_seconds,
+                    memory_bound=phase.memory_bound,
+                )
+        rec.incr("ssb.scan.read_bytes", scaled.seq_read_bytes)
+        rec.incr("ssb.probe.requests_count", scaled.random_reads)
+        rec.incr("ssb.probe.read_bytes", scaled.random_read_bytes)
+        rec.incr("ssb.intermediate.write_bytes", scaled.write_bytes)
+        rec.incr("ssb.cpu.tuples_count", scaled.cpu_tuples)
+        rec.observe("ssb.query.predicted_seconds", breakdown.seconds)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import QueryError
+from repro.obs import Recorder, default_recorder
 from repro.ssb.dbgen import SsbDatabase
 from repro.ssb.engine import operators
 from repro.ssb.engine.operators import JoinIndex
@@ -122,8 +123,15 @@ class SsbExecutor:
         traffic.add(built.build_traffic)
         return built
 
-    def execute(self, query: QueryDef) -> QueryResult:
-        """Run ``query``; returns correct results plus traffic."""
+    def execute(
+        self, query: QueryDef, *, recorder: Recorder | None = None
+    ) -> QueryResult:
+        """Run ``query``; returns correct results plus traffic.
+
+        ``recorder`` (default: the process-wide
+        :func:`repro.obs.default_recorder`) receives per-operator traffic
+        events and the executed byte totals; it never affects the result.
+        """
         fact = self.db.lineorder
         traffic = QueryTraffic(query=query.name)
         unaware = self.profile.index_kind is IndexKind.CHAINED
@@ -203,9 +211,34 @@ class SsbExecutor:
         )
         traffic.add(agg_traffic)
 
+        rec = recorder if recorder is not None else default_recorder()
+        if rec.enabled:
+            self._emit(rec, query.name, traffic)
+
         return QueryResult(
             query=query.name,
             groups=grouped.as_dict(),
             qualifying_rows=int(len(candidates)),
             traffic=traffic,
         )
+
+    @staticmethod
+    def _emit(rec: Recorder, query_name: str, traffic: QueryTraffic) -> None:
+        """Emit one execution: per-operator events plus byte totals."""
+        with rec.span("ssb.exec", query=query_name):
+            for operator in traffic.operators:
+                rec.event(
+                    "ssb.exec.operator",
+                    query=query_name,
+                    operator=operator.name,
+                    seq_read_bytes=operator.seq_read_bytes,
+                    random_reads=operator.random_reads,
+                    random_read_size=operator.random_read_size,
+                    write_bytes=operator.seq_write_bytes
+                    + operator.random_write_bytes,
+                    cpu_tuples=operator.cpu_tuples,
+                )
+        rec.incr("ssb.exec.queries_count")
+        rec.incr("ssb.exec.seq_read_bytes", traffic.seq_read_bytes)
+        rec.incr("ssb.exec.random_requests_count", traffic.random_reads)
+        rec.incr("ssb.exec.write_bytes", traffic.write_bytes)

@@ -9,15 +9,22 @@ so ``jobs=4`` is bit-identical to ``jobs=1`` regardless of completion
 order. (Threads, not processes: one evaluation is microseconds of pure
 Python, and the wins come from the shared memo cache, which a process
 pool would fracture.)
+
+A point that raises — serial or parallel — is re-raised as
+:class:`~repro.errors.SweepError` naming the grid and the point label,
+with the original exception chained; ``pool.map`` alone would surface
+only the worker's traceback, leaving the poisoned point anonymous.
 """
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepError
 from repro.memsim.config import DirectoryState, MachineConfig, paper_config
 from repro.memsim.evaluation import BandwidthResult
+from repro.obs import Recorder, default_recorder
 from repro.sweep.service import EvaluationService, default_service
 from repro.workloads.grids import SweepGrid, SweepPoint
 
@@ -33,6 +40,9 @@ class SweepRunner:
     jobs:
         Worker threads for the fan-out; ``1`` (default) evaluates
         inline.
+    recorder:
+        Observability sink for per-point counters and wall time;
+        defaults to the process-wide :func:`repro.obs.default_recorder`.
     """
 
     def __init__(
@@ -40,10 +50,12 @@ class SweepRunner:
         service: EvaluationService | None = None,
         *,
         jobs: int = 1,
+        recorder: Recorder | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self._service = service
+        self._recorder = recorder
         self.jobs = jobs
 
     @property
@@ -67,9 +79,31 @@ class SweepRunner:
         cfg = config if config is not None else paper_config()
         state = directory if directory is not None else DirectoryState.cold()
         points = list(grid)
+        rec = self._recorder if self._recorder is not None else default_recorder()
+        observing = rec.enabled
 
         def evaluate_point(point: SweepPoint) -> BandwidthResult:
-            return self.service.evaluate(cfg, point.streams, state)
+            started = time.perf_counter() if observing else 0.0
+            try:
+                result = self.service.evaluate(
+                    cfg, point.streams, state, recorder=rec
+                )
+            except SweepError:
+                raise
+            except Exception as exc:
+                raise SweepError(
+                    f"sweep {grid.name!r} point {point.label!r} failed: {exc}"
+                ) from exc
+            if observing:
+                # Wall time is inherently nondeterministic, hence a
+                # histogram observation: CountersRecorder keeps only a
+                # summary and TraceRecorder drops observations unless
+                # asked to record them.
+                rec.incr("sweep.points_count")
+                rec.observe(
+                    "sweep.point.wall_seconds", time.perf_counter() - started
+                )
+            return result
 
         if self.jobs == 1 or len(points) <= 1:
             results = [evaluate_point(point) for point in points]

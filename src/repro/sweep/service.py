@@ -23,6 +23,7 @@ from repro.memsim import evaluation
 from repro.memsim.config import DirectoryState, MachineConfig
 from repro.memsim.evaluation import BandwidthResult, observable_pairs
 from repro.memsim.spec import StreamSpec
+from repro.obs import Recorder, default_recorder
 from repro.sweep.cache import CacheStats, DiskCache, MemoCache, request_digest
 
 
@@ -55,6 +56,8 @@ class EvaluationService:
         config: MachineConfig,
         streams: list[StreamSpec] | tuple[StreamSpec, ...],
         directory: DirectoryState | None = None,
+        *,
+        recorder: Recorder | None = None,
     ) -> BandwidthResult:
         """Cached equivalent of :func:`repro.memsim.evaluation.evaluate`.
 
@@ -62,7 +65,14 @@ class EvaluationService:
         hits, so callers may freely annotate its counters. Bit-identical
         to the uncached call — including ``directory_after``, which is
         recomputed from the *full* input state on every call.
+
+        ``recorder`` (default: the process-wide
+        :func:`repro.obs.default_recorder`) receives cache hit/miss
+        counters. It is a sink, never a cache-key component: a cached
+        hit replays a ``sweep.cache_hit`` event, *not* the evaluation's
+        original counters.
         """
+        rec = recorder if recorder is not None else default_recorder()
         streams = tuple(streams)
         state = directory if directory is not None else DirectoryState.cold()
         normalized = state.restrict(observable_pairs(streams))
@@ -71,6 +81,9 @@ class EvaluationService:
         cached = self._memo.get(key) if self._memo is not None else None
         if cached is not None:
             self.stats.hits += 1
+            if rec.enabled:
+                rec.incr("sweep.cache.hits_count")
+                rec.event("sweep.cache_hit", source="memo", streams=len(streams))
             return self._deliver(cached, streams, state)
 
         digest: str | None = None
@@ -80,12 +93,20 @@ class EvaluationService:
             if from_disk is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
+                if rec.enabled:
+                    rec.incr("sweep.cache.hits_count")
+                    rec.incr("sweep.cache.disk_hits_count")
+                    rec.event("sweep.cache_hit", source="disk", streams=len(streams))
                 if self._memo is not None:
                     self._memo.put(key, from_disk)
                 return self._deliver(from_disk, streams, state)
 
         self.stats.misses += 1
-        result = evaluation.evaluate(config, streams, normalized)
+        if rec.enabled:
+            rec.incr("sweep.cache.misses_count")
+        result = evaluation.evaluate(
+            config, streams, normalized, recorder=rec if rec.enabled else None
+        )
         if self._memo is not None:
             self._memo.put(key, result)
         if self._disk is not None and digest is not None:

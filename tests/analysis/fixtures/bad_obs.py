@@ -1,0 +1,18 @@
+"""Fixture: counter names that violate the obs catalogue convention."""
+
+
+def emit(rec):
+    rec.incr("badname")  # one segment
+    rec.incr("memsim.app.read")  # no unit suffix
+    rec.observe("memsim.Thing.wait_seconds", 0.5)  # upper-case segment
+    rec.incr("memsim.app.read_parsecs")  # unknown unit
+    rec.incr("memsim..read_bytes", 2.0)  # empty segment
+
+
+def fine(rec, socket):
+    rec.incr("memsim.app.read_bytes")  # valid
+    rec.observe("memsim.imc.rpq_occupancy_ratio", 0.5)  # valid
+    rec.incr(f"memsim.dimm.s{socket}.issued_bytes")  # dynamic: runtime-checked
+    name = "not.checked_here"
+    rec.incr(name)  # non-literal: runtime-checked
+    rec.event("ssb.operator")  # events are not unit-suffixed counters

@@ -130,7 +130,7 @@ class TestRegistry:
     def test_all_rules_are_registered(self):
         codes = {r.code for r in all_rules()}
         assert codes == {
-            "SIM001", "SIM002", "SIM101", "SIM102", "SIM103",
+            "SIM001", "SIM002", "SIM101", "SIM102", "SIM103", "SIM104",
             "SIM201", "SIM301", "SIM302", "SIM303", "SIM401",
         }
 

@@ -148,6 +148,23 @@ class TestDocstringRule:
         assert findings == []
 
 
+class TestObsRules:
+    def test_counter_name_fires_on_every_violation_shape(self):
+        findings, _ = run_fixture("bad_obs.py")
+        bad = [f for f in findings if f.rule == "SIM104"]
+        assert {f.line for f in bad} == {5, 6, 7, 8, 9}
+
+    def test_messages_name_the_offending_counter(self):
+        findings, _ = run_fixture("bad_obs.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM104")
+        assert "'badname'" in messages
+        assert "unit suffix" in messages
+
+    def test_valid_dynamic_and_event_names_not_flagged(self):
+        findings, _ = run_fixture("bad_obs.py")
+        assert all(f.line < 12 for f in findings if f.rule == "SIM104")
+
+
 class TestCleanAndSuppressed:
     def test_clean_fixture_has_no_findings(self):
         findings, suppressed = run_fixture("clean.py")

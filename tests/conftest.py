@@ -1,0 +1,20 @@
+"""Shared pytest configuration for the repository test suite."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/obs/goldens/*.json from the current model "
+        "output instead of comparing against them (legitimate only when "
+        "a model change is intentional — see tests/obs/test_goldens.py)",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    """True when the run was invoked with ``--update-goldens``."""
+    return bool(request.config.getoption("--update-goldens"))

@@ -1,0 +1,130 @@
+"""Golden counter-snapshot regression tests.
+
+Each case runs a pinned workload under a :class:`CountersRecorder` and
+compares the snapshot — exact equality, floats included — against a
+checked-in JSON file under ``tests/obs/goldens/``. Any behavioural
+change in the model shows up as a *named* counter diff, which is the
+point: "fig3 got slower" is vague, "memsim.prefetch.issued_count went
+to 0" names the mechanism.
+
+Updating goldens
+----------------
+Run ``pytest tests/obs --update-goldens`` to rewrite the files. That is
+legitimate **only** when a model change is intentional (a calibration
+fix, a new mechanism) — the rewritten files must be reviewed in the
+same commit as the change that motivated them. It is never the fix for
+an unexplained diff: that diff *is* the regression report.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.memsim import evaluation
+from repro.memsim.config import DirectoryState, MachineConfig, paper_config
+from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
+from repro.obs import CountersRecorder
+from repro.obs.golden import canonical_json, diff_snapshots, load_golden, write_golden
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+FIG3_SPEC = StreamSpec(
+    op=Op.READ, threads=36, access_size=4096,
+    pattern=Pattern.SEQUENTIAL, layout=Layout.GROUPED,
+)
+FIG8_SPEC = StreamSpec(
+    op=Op.WRITE, threads=18, access_size=16384,
+    pattern=Pattern.SEQUENTIAL, layout=Layout.INDIVIDUAL,
+)
+
+
+def _evaluation_snapshot(spec: StreamSpec, config: MachineConfig | None = None):
+    rec = CountersRecorder()
+    evaluation.evaluate(
+        config if config is not None else paper_config(),
+        [spec],
+        DirectoryState.cold(),
+        recorder=rec,
+    )
+    return rec.snapshot()
+
+
+def snapshot_fig03():
+    """Fig. 3's peak-read point: 36 threads, 4 KiB, grouped sequential."""
+    return _evaluation_snapshot(FIG3_SPEC)
+
+
+def snapshot_fig08():
+    """Fig. 8's boomerang region: 18 threads writing 16 KiB individually."""
+    return _evaluation_snapshot(FIG8_SPEC)
+
+
+def snapshot_table1():
+    """Table 1 pricing traffic: Q2.1 on the handcrafted PMEM profile."""
+    from repro.ssb.costmodel import SsbCostModel
+    from repro.ssb.engine.traffic import OperatorTraffic, QueryTraffic
+    from repro.ssb.storage import HANDCRAFTED_PMEM
+    from repro.units import GIB
+
+    # Synthetic but representative Q2.1 traffic; hand-pinned so the
+    # golden does not depend on dbgen (only on the cost model itself).
+    traffic = QueryTraffic(query="Q2.1")
+    traffic.add(OperatorTraffic(
+        name="scan-lineorder", seq_read_bytes=96.0 * GIB, cpu_tuples=600e6,
+    ))
+    traffic.add(OperatorTraffic(
+        name="probe-part", random_reads=120e6, random_read_size=256,
+        cpu_tuples=120e6,
+    ))
+    traffic.add(OperatorTraffic(
+        name="aggregate", seq_write_bytes=2.0 * GIB, cpu_tuples=60e6,
+    ))
+    rec = CountersRecorder()
+    SsbCostModel().price(traffic, HANDCRAFTED_PMEM, recorder=rec)
+    return rec.snapshot()
+
+
+CASES = {
+    "fig03": snapshot_fig03,
+    "fig08": snapshot_fig08,
+    "table1": snapshot_table1,
+}
+
+
+@pytest.mark.parametrize("case", sorted(CASES), ids=sorted(CASES))
+def test_snapshot_matches_golden(case, update_goldens):
+    snapshot = CASES[case]()
+    path = GOLDEN_DIR / f"{case}.json"
+    if update_goldens:
+        write_golden(path, snapshot)
+        return
+    assert path.exists(), (
+        f"missing golden {path}; generate it with "
+        "pytest tests/obs --update-goldens"
+    )
+    expected = load_golden(path)
+    diff = diff_snapshots(expected, snapshot)
+    assert not diff, "counter diff vs golden:\n" + "\n".join(diff)
+    # Belt and braces: canonical serialisation is byte-identical too.
+    assert canonical_json(snapshot) == path.read_text(encoding="utf-8")
+
+
+def test_perturbed_model_reports_a_named_counter_diff():
+    """Flipping a memsim mechanism must fail the golden loudly, naming
+    the mechanism's counter — not just 'something changed'."""
+    golden = load_golden(GOLDEN_DIR / "fig03.json")
+    perturbed = _evaluation_snapshot(
+        FIG3_SPEC, config=MachineConfig(prefetcher_enabled=False)
+    )
+    diff = diff_snapshots(golden, perturbed)
+    assert diff, "disabling the prefetcher must perturb the fig03 snapshot"
+    assert any("memsim.prefetch.issued_count" in line for line in diff)
+
+
+def test_goldens_are_canonically_formatted():
+    """Checked-in goldens must be exactly what write_golden emits, so
+    --update-goldens never produces formatting-only churn."""
+    paths = sorted(GOLDEN_DIR.glob("*.json"))
+    assert len(paths) == len(CASES)
+    for path in paths:
+        assert path.read_text(encoding="utf-8") == canonical_json(load_golden(path))

@@ -1,0 +1,102 @@
+"""Metamorphic invariants over observability counters.
+
+Rather than pinning absolute values, these tests assert *relations*
+between counter readings of related evaluations — invariants that any
+correct bandwidth model must satisfy regardless of calibration:
+
+* adding threads never decreases the requests a workload issues;
+* a warm coherence directory never produces *more* UPI coherence
+  traffic than a cold one;
+* doubling the access size at equal volume exactly halves the request
+  count;
+* random access never beats sequential access at the same shape.
+
+Each invariant is checked across a seeded sample of the paper's sweep
+grid (thread counts x access sizes), so a model regression anywhere in
+the grid trips at least one pair.
+"""
+
+import random
+
+import pytest
+
+from repro.memsim import evaluation
+from repro.memsim.config import DirectoryState, paper_config
+from repro.memsim.spec import Op, Pattern, StreamSpec
+from repro.obs import CountersRecorder
+from repro.workloads import PAPER_ACCESS_SIZES, PAPER_THREAD_COUNTS
+
+SEED = 20210607  # fixed: the sample must be identical on every run
+
+
+def sample_grid(count: int, *, sizes=PAPER_ACCESS_SIZES) -> list[tuple[int, int]]:
+    """Deterministic sample of (threads, access_size) sweep-grid cells."""
+    cells = [(t, s) for t in PAPER_THREAD_COUNTS for s in sizes]
+    return random.Random(SEED).sample(cells, count)
+
+
+def record(spec: StreamSpec, directory: DirectoryState | None = None) -> CountersRecorder:
+    rec = CountersRecorder()
+    evaluation.evaluate(
+        paper_config(),
+        [spec],
+        directory if directory is not None else DirectoryState.cold(),
+        recorder=rec,
+    )
+    return rec
+
+
+@pytest.mark.parametrize("op", [Op.READ, Op.WRITE], ids=["read", "write"])
+def test_more_threads_never_decreases_issued_requests(op):
+    for threads, size in sample_grid(6):
+        more = min(t for t in PAPER_THREAD_COUNTS if t > threads) \
+            if threads < max(PAPER_THREAD_COUNTS) else threads
+        base = record(StreamSpec(op=op, threads=threads, access_size=size))
+        scaled = record(StreamSpec(op=op, threads=more, access_size=size))
+        assert (
+            scaled.counter("memsim.eval.requests_count")
+            >= base.counter("memsim.eval.requests_count")
+        ), (threads, more, size)
+
+
+def test_warm_directory_never_increases_upi_coherence():
+    config = paper_config()
+    for threads, size in sample_grid(6):
+        far = StreamSpec(
+            op=Op.READ, threads=threads, access_size=size,
+            issuing_socket=0, target_socket=1,
+        )
+        cold = record(far, DirectoryState.cold())
+        warm = record(far, DirectoryState.warm(config.topology))
+        cold_bytes = cold.counter("memsim.upi.coherence_bytes")
+        warm_bytes = warm.counter("memsim.upi.coherence_bytes")
+        assert warm_bytes <= cold_bytes, (threads, size)
+        assert cold_bytes > 0.0
+
+
+@pytest.mark.parametrize("op", [Op.READ, Op.WRITE], ids=["read", "write"])
+def test_doubling_access_size_halves_request_count(op):
+    small_sizes = tuple(s for s in PAPER_ACCESS_SIZES if 2 * s in PAPER_ACCESS_SIZES)
+    for threads, size in sample_grid(6, sizes=small_sizes):
+        base = record(StreamSpec(op=op, threads=threads, access_size=size))
+        doubled = record(StreamSpec(op=op, threads=threads, access_size=2 * size))
+        assert (
+            base.counter("memsim.eval.requests_count")
+            == 2.0 * doubled.counter("memsim.eval.requests_count")
+        ), (threads, size)
+
+
+@pytest.mark.parametrize("op", [Op.READ, Op.WRITE], ids=["read", "write"])
+def test_random_never_beats_sequential(op):
+    for threads, size in sample_grid(6):
+        sequential = record(
+            StreamSpec(op=op, threads=threads, access_size=size,
+                       pattern=Pattern.SEQUENTIAL)
+        )
+        randomized = record(
+            StreamSpec(op=op, threads=threads, access_size=size,
+                       pattern=Pattern.RANDOM)
+        )
+        seq_gbps = sequential.histograms["memsim.stream.achieved_gbps"].maximum
+        rand_gbps = randomized.histograms["memsim.stream.achieved_gbps"].maximum
+        assert rand_gbps <= seq_gbps, (threads, size)

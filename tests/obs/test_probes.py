@@ -1,0 +1,208 @@
+"""Counter emission from the evaluation core, the DES engine, and SSB.
+
+The load-bearing assertion here is the paper's byte-accounting identity:
+for every DIMM, the line-granular bytes *issued* to it equal the bytes
+its media *served* plus the bytes *dropped* (absorbed) by the on-DIMM
+buffers — nothing is created or lost between the iMC and the media.
+"""
+
+import re
+
+import pytest
+
+from repro.memsim import evaluation
+from repro.memsim.config import DirectoryState, MachineConfig, paper_config
+from repro.memsim.engine.simulator import EngineConfig, simulate
+from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
+from repro.obs import CountersRecorder, using_recorder
+from repro.obs.catalog import describe, validate_name
+from repro.sweep import EvaluationService
+
+FIG3_POINT = StreamSpec(
+    op=Op.READ, threads=36, access_size=4096,
+    pattern=Pattern.SEQUENTIAL, layout=Layout.GROUPED,
+)
+FIG8_POINT = StreamSpec(
+    op=Op.WRITE, threads=18, access_size=16384,
+    pattern=Pattern.SEQUENTIAL, layout=Layout.INDIVIDUAL,
+)
+
+
+def record_evaluation(spec, config=None, directory=None) -> CountersRecorder:
+    rec = CountersRecorder()
+    evaluation.evaluate(
+        config if config is not None else paper_config(),
+        [spec],
+        directory if directory is not None else DirectoryState.cold(),
+        recorder=rec,
+    )
+    return rec
+
+
+def dimm_prefixes(rec: CountersRecorder, pattern: str) -> list[str]:
+    return sorted(
+        {
+            match.group(1)
+            for match in (re.match(pattern, name) for name in rec.counters)
+            if match
+        }
+    )
+
+
+class TestByteAccountingIdentity:
+    @pytest.mark.parametrize("spec", [FIG3_POINT, FIG8_POINT], ids=["fig3", "fig8"])
+    def test_issued_equals_served_plus_dropped(self, spec):
+        rec = record_evaluation(spec)
+        prefixes = dimm_prefixes(rec, r"(memsim\.dimm\.s\d+\.d\d+)\.")
+        assert prefixes, "expected per-DIMM counters"
+        for prefix in prefixes:
+            issued = rec.counter(f"{prefix}.issued_bytes")
+            served = rec.counter(f"{prefix}.served_bytes")
+            dropped = rec.counter(f"{prefix}.dropped_bytes")
+            assert issued == served + dropped
+            assert issued > 0.0
+            assert dropped >= 0.0
+
+    def test_read_buffer_bytes_mirror_the_split(self):
+        rec = record_evaluation(FIG3_POINT)
+        prefixes = dimm_prefixes(rec, r"(memsim\.dimm\.s\d+\.d\d+)\.")
+        dropped = sum(rec.counter(f"{p}.dropped_bytes") for p in prefixes)
+        served = sum(rec.counter(f"{p}.served_bytes") for p in prefixes)
+        assert rec.counter("memsim.read_buffer.hit_bytes") == pytest.approx(dropped)
+        assert rec.counter("memsim.read_buffer.miss_bytes") == pytest.approx(served)
+
+    def test_write_point_counts_write_combining(self):
+        rec = record_evaluation(FIG8_POINT)
+        assert rec.counter("memsim.wc.hit_count") > 0.0
+        assert rec.counter("memsim.wc.miss_count") >= 0.0
+        assert rec.counter("memsim.app.write_bytes") > 0.0
+
+
+class TestEvaluationEmission:
+    def test_every_emitted_name_is_catalogued(self):
+        rec = record_evaluation(
+            StreamSpec(
+                op=Op.READ, threads=8, access_size=256,
+                issuing_socket=0, target_socket=1,
+            )
+        )
+        names = list(rec.counters) + list(rec.histograms)
+        assert names
+        for name in names:
+            assert validate_name(name) is None, name
+            assert describe(name) is not None, name
+
+    def test_request_count_matches_volume_over_size(self):
+        rec = record_evaluation(FIG3_POINT)
+        expected = FIG3_POINT.total_bytes / FIG3_POINT.access_size
+        assert rec.counter("memsim.eval.requests_count") == expected
+
+    def test_prefetch_counters_gate_on_config(self):
+        on = record_evaluation(FIG3_POINT)
+        off = record_evaluation(FIG3_POINT, config=MachineConfig(prefetcher_enabled=False))
+        assert on.counter("memsim.prefetch.issued_count") > 0.0
+        assert off.counter("memsim.prefetch.issued_count") == 0.0
+
+    def test_recorder_never_changes_the_result(self):
+        plain = evaluation.evaluate(paper_config(), [FIG3_POINT], DirectoryState.cold())
+        observed = evaluation.evaluate(
+            paper_config(), [FIG3_POINT], DirectoryState.cold(),
+            recorder=CountersRecorder(),
+        )
+        assert plain.total_gbps == observed.total_gbps
+        assert plain.counters == observed.counters
+
+    def test_directory_transitions_counted(self):
+        far = StreamSpec(
+            op=Op.READ, threads=8, access_size=4096,
+            issuing_socket=0, target_socket=1,
+        )
+        rec = record_evaluation(far)
+        assert rec.counter("memsim.directory.transitions_count") == 1.0
+
+
+class TestCacheHitSemantics:
+    def test_hit_replays_event_not_evaluation_counters(self):
+        service = EvaluationService()
+        rec = CountersRecorder()
+        with using_recorder(rec):
+            service.evaluate(paper_config(), [FIG3_POINT], DirectoryState.cold())
+        hit_rec = CountersRecorder()
+        with using_recorder(hit_rec):
+            service.evaluate(paper_config(), [FIG3_POINT], DirectoryState.cold())
+        assert rec.counter("sweep.cache.misses_count") == 1.0
+        assert rec.counter("memsim.eval.calls_count") == 1.0
+        assert hit_rec.counter("sweep.cache.hits_count") == 1.0
+        assert hit_rec.event_counts.get("sweep.cache_hit") == 1
+        # The hit replays a cache_hit event, not the original evaluation.
+        assert hit_rec.counter("memsim.eval.calls_count") == 0.0
+
+
+class TestEngineEmission:
+    def test_engine_identity_and_totals(self):
+        config = EngineConfig(op=Op.READ, threads=4, access_size=4096,
+                              total_bytes=1 << 24)
+        rec = CountersRecorder()
+        result = simulate(config, recorder=rec)
+        prefixes = dimm_prefixes(rec, r"(engine\.dimm\.d\d+)\.")
+        assert prefixes
+        for prefix in prefixes:
+            issued = rec.counter(f"{prefix}.issued_bytes")
+            served = rec.counter(f"{prefix}.served_bytes")
+            dropped = rec.counter(f"{prefix}.dropped_bytes")
+            assert issued == served + dropped
+        assert rec.counter("engine.app.moved_bytes") == result.bytes_moved
+        assert rec.counter("engine.media.moved_bytes") == result.media_bytes
+        assert rec.counter("engine.requests_count") > 0.0
+        for name in rec.counters:
+            assert validate_name(name) is None, name
+            assert describe(name) is not None, name
+
+    def test_engine_unobserved_matches_observed(self):
+        config = EngineConfig(op=Op.WRITE, threads=2, access_size=4096,
+                              total_bytes=1 << 22)
+        plain = simulate(config)
+        observed = simulate(config, recorder=CountersRecorder())
+        assert plain.seconds == observed.seconds
+        assert plain.per_dimm_bytes == observed.per_dimm_bytes
+
+
+class TestSsbEmission:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        from repro.ssb import dbgen
+        from repro.ssb.engine.executor import SsbExecutor
+        from repro.ssb.queries import ALL_QUERIES
+        from repro.ssb.storage import HANDCRAFTED_PMEM
+
+        db = dbgen.generate(scale_factor=0.01, seed=7)
+        executor = SsbExecutor(db, HANDCRAFTED_PMEM)
+        rec = CountersRecorder()
+        result = executor.execute(ALL_QUERIES[0], recorder=rec)
+        return rec, result
+
+    def test_executor_totals_match_traffic(self, executed):
+        rec, result = executed
+        assert rec.counter("ssb.exec.queries_count") == 1.0
+        assert rec.counter("ssb.exec.seq_read_bytes") == result.traffic.seq_read_bytes
+        assert rec.counter("ssb.exec.random_requests_count") == result.traffic.random_reads
+        assert rec.counter("ssb.exec.write_bytes") == result.traffic.write_bytes
+        assert rec.event_counts["ssb.exec.operator"] == len(result.traffic.operators)
+
+    def test_cost_model_emits_per_operator_events(self, executed):
+        from repro.ssb.costmodel import SsbCostModel
+        from repro.ssb.storage import HANDCRAFTED_PMEM
+
+        _, result = executed
+        rec = CountersRecorder()
+        breakdown = SsbCostModel().price(
+            result.traffic, HANDCRAFTED_PMEM, recorder=rec
+        )
+        assert rec.event_counts["ssb.operator"] == len(breakdown.phases)
+        assert rec.span_counts["ssb.price"] == 1
+        summary = rec.histograms["ssb.query.predicted_seconds"]
+        assert summary.count == 1
+        assert summary.total == breakdown.seconds
+        for name in list(rec.counters) + list(rec.histograms):
+            assert validate_name(name) is None, name
+            assert describe(name) is not None, name

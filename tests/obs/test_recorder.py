@@ -1,0 +1,227 @@
+"""Unit tests for the recorder implementations and obs helpers."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    CountersRecorder,
+    HistogramSummary,
+    NullRecorder,
+    TraceRecorder,
+    default_recorder,
+    set_default_recorder,
+    using_recorder,
+)
+from repro.obs.catalog import CATALOG, UNIT_SUFFIXES, describe, validate_name
+from repro.obs.golden import canonical_json, diff_snapshots
+from repro.obs.report import render_recorder, render_snapshot
+
+
+class TestNullRecorder:
+    def test_disabled_and_inert(self):
+        rec = NullRecorder()
+        assert rec.enabled is False
+        rec.incr("any.name_count")
+        rec.observe("any.name_seconds", 1.0)
+        rec.event("any.thing", a=1)
+        with rec.span("any.unit", b=2):
+            pass
+
+    def test_span_is_reentrant(self):
+        with NULL_RECORDER.span("outer.work_count"):
+            with NULL_RECORDER.span("inner.work_count"):
+                pass
+
+
+class TestCountersRecorder:
+    def test_incr_accumulates(self):
+        rec = CountersRecorder()
+        rec.incr("a.b_count")
+        rec.incr("a.b_count", 2.5)
+        assert rec.counter("a.b_count") == 3.5
+        assert rec.counter("never.seen_count") == 0.0
+
+    def test_observe_builds_histogram(self):
+        rec = CountersRecorder()
+        for value in (3.0, 1.0, 2.0):
+            rec.observe("a.b_seconds", value)
+        summary = rec.histograms["a.b_seconds"]
+        assert summary.count == 3
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.mean == 2.0
+
+    def test_events_and_spans_are_tallied(self):
+        rec = CountersRecorder()
+        rec.event("x.y", detail="ignored")
+        rec.event("x.y")
+        with rec.span("x.z", grid="fig3"):
+            pass
+        assert rec.event_counts == {"x.y": 2}
+        assert rec.span_counts == {"x.z": 1}
+
+    def test_snapshot_is_sorted_and_json_roundtrips(self):
+        rec = CountersRecorder()
+        rec.incr("b.x_count")
+        rec.incr("a.x_count")
+        rec.observe("c.y_ratio", 0.5)
+        snap = rec.snapshot()
+        assert list(snap["counters"]) == ["a.x_count", "b.x_count"]
+        assert json.loads(json.dumps(snap)) == snap
+
+
+class TestHistogramSummary:
+    def test_empty_mean_is_zero(self):
+        assert HistogramSummary().mean == 0.0
+
+    def test_to_json_fields(self):
+        summary = HistogramSummary()
+        summary.add(2.0)
+        summary.add(4.0)
+        assert summary.to_json() == {"count": 2, "total": 6.0, "min": 2.0, "max": 4.0}
+
+
+class TestTraceRecorder:
+    def test_records_are_sequenced(self):
+        rec = TraceRecorder()
+        rec.incr("a.b_count")
+        rec.event("a.c", k=1)
+        assert [r["seq"] for r in rec.records] == [0, 1]
+        assert len(rec) == 2
+
+    def test_span_nesting_tracks_depth(self):
+        rec = TraceRecorder()
+        with rec.span("outer.work_count"):
+            with rec.span("inner.work_count"):
+                rec.event("deep.thing")
+        kinds = [(r["type"], r.get("depth")) for r in rec.records]
+        assert kinds == [
+            ("span_begin", 0),
+            ("span_begin", 1),
+            ("event", 2),
+            ("span_end", 1),
+            ("span_end", 0),
+        ]
+
+    def test_observations_dropped_by_default(self):
+        rec = TraceRecorder()
+        rec.observe("wall.time_seconds", 0.25)
+        assert len(rec) == 0
+        keen = TraceRecorder(record_observations=True)
+        keen.observe("wall.time_seconds", 0.25)
+        assert keen.records[0]["type"] == "observe"
+
+    def test_clock_injection_adds_timestamps(self):
+        ticks = iter((1.5, 2.5))
+        rec = TraceRecorder(clock=lambda: next(ticks))
+        rec.incr("a.b_count")
+        rec.incr("a.b_count")
+        assert [r["t"] for r in rec.records] == [1.5, 2.5]
+
+    def test_export_jsonl_roundtrips(self, tmp_path):
+        rec = TraceRecorder()
+        rec.incr("a.b_count", 2.0)
+        with rec.span("a.c_count", label="x"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        text = rec.export_jsonl(path)
+        assert path.read_text(encoding="utf-8") == text
+        parsed = [json.loads(line) for line in text.splitlines()]
+        assert parsed == rec.records
+
+    def test_export_empty_trace(self):
+        assert TraceRecorder().export_jsonl() == ""
+
+
+class TestDefaultRecorder:
+    def test_default_is_the_shared_null(self):
+        assert default_recorder() is NULL_RECORDER
+
+    def test_set_returns_previous(self):
+        rec = CountersRecorder()
+        try:
+            assert set_default_recorder(rec) is None
+            assert default_recorder() is rec
+        finally:
+            set_default_recorder(None)
+        assert default_recorder() is NULL_RECORDER
+
+    def test_using_recorder_restores_on_exception(self):
+        rec = CountersRecorder()
+        with pytest.raises(KeyError):
+            with using_recorder(rec):
+                assert default_recorder() is rec
+                raise KeyError("boom")
+        assert default_recorder() is NULL_RECORDER
+
+
+class TestCatalog:
+    def test_valid_names(self):
+        assert validate_name("memsim.app.read_bytes") is None
+        assert validate_name("sweep.points_count") is None
+        assert validate_name("a.b_gbps") is None
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "single_count",  # no dot
+            "memsim.app.read",  # no unit suffix
+            "memsim.App.read_bytes",  # upper case segment
+            "memsim..read_bytes",  # empty segment
+            "memsim.1app.read_bytes",  # leading digit
+            "memsim.app.read_parsecs",  # unknown unit
+        ],
+    )
+    def test_invalid_names_report_a_reason(self, name):
+        assert validate_name(name) is not None
+
+    def test_every_catalog_pattern_self_validates(self):
+        for spec in CATALOG:
+            concrete = ".".join(
+                "s0" if segment == "*" else segment
+                for segment in spec.pattern.split(".")
+            )
+            assert validate_name(concrete) is None, spec.pattern
+            assert spec.unit in UNIT_SUFFIXES
+
+    def test_describe_resolves_wildcards(self):
+        spec = describe("memsim.dimm.s1.d4.issued_bytes")
+        assert spec is not None
+        assert spec.unit == "bytes"
+        assert describe("memsim.dimm.nonsense") is None
+
+
+class TestGoldenHelpers:
+    def test_canonical_json_is_stable(self):
+        snap = {"counters": {"b.x_count": 1.0, "a.x_count": 2.0}}
+        assert canonical_json(snap) == canonical_json(dict(reversed(snap.items())))
+        assert canonical_json(snap).endswith("\n")
+
+    def test_diff_reports_value_missing_and_unexpected(self):
+        expected = {"counters": {"a.x_count": 1.0, "b.x_count": 2.0}}
+        actual = {"counters": {"a.x_count": 5.0, "c.x_count": 3.0}}
+        lines = diff_snapshots(expected, actual)
+        assert any("a.x_count" in line and "expected" in line for line in lines)
+        assert any("b.x_count" in line and "missing" in line for line in lines)
+        assert any("c.x_count" in line and "unexpected" in line for line in lines)
+
+    def test_identical_snapshots_have_no_diff(self):
+        snap = {"counters": {"a.x_count": 1.0}, "events": {"e": 2}}
+        assert diff_snapshots(snap, snap) == []
+
+
+class TestReport:
+    def test_empty_recorder_renders_placeholder(self):
+        assert "no observations" in render_recorder(CountersRecorder())
+
+    def test_rendering_scales_units_and_annotates(self):
+        rec = CountersRecorder()
+        rec.incr("memsim.app.read_bytes", 2.5e9)
+        rec.incr("sweep.points_count", 3)
+        rec.observe("memsim.imc.rpq_occupancy_ratio", 0.5)
+        text = render_snapshot(rec.snapshot())
+        assert "GB" in text
+        assert "50.0%" in text
+        assert "# application read volume" in text

@@ -1,0 +1,113 @@
+"""Fault injection against the on-disk evaluation cache.
+
+A corrupt cache entry — truncated write, garbage bytes, or a payload
+whose schema drifted — must behave exactly like a miss: the request is
+re-evaluated, the result is bit-identical to a clean computation, and
+the entry is re-written so the *next* process gets a healthy hit.
+Silently propagating a half-written payload would poison every figure
+downstream of it.
+"""
+
+import json
+
+import pytest
+
+from repro.memsim import evaluation
+from repro.memsim.config import DirectoryState, paper_config
+from repro.memsim.spec import Op, StreamSpec
+from repro.obs import CountersRecorder
+from repro.sweep import DiskCache, EvaluationService
+
+SPEC = StreamSpec(op=Op.READ, threads=8, access_size=4096)
+
+
+def evaluate_through(root) -> tuple[EvaluationService, object]:
+    """Fresh service over ``root`` (no memo: force the disk path)."""
+    service = EvaluationService(disk_cache=DiskCache(root), memoize=False)
+    result = service.evaluate(paper_config(), [SPEC], DirectoryState.cold())
+    return service, result
+
+
+def sole_entry(root):
+    entries = [p for p in root.rglob("*.json")]
+    assert len(entries) == 1
+    return entries[0]
+
+
+def truncate(path):
+    text = path.read_text(encoding="utf-8")
+    path.write_text(text[: len(text) // 2], encoding="utf-8")
+
+
+def garbage(path):
+    path.write_bytes(b"\x00\xffnot json at all{{{")
+
+
+def wrong_schema(path):
+    path.write_text(json.dumps({"streams": "nope"}), encoding="utf-8")
+
+
+def empty(path):
+    path.write_text("", encoding="utf-8")
+
+
+def missing_key(path):
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    del payload["counters"]
+    path.write_text(json.dumps(payload), encoding="utf-8")
+
+
+CORRUPTIONS = {
+    "truncated": truncate,
+    "garbage": garbage,
+    "wrong_schema": wrong_schema,
+    "empty": empty,
+    "missing_key": missing_key,
+}
+
+
+@pytest.mark.parametrize("kind", sorted(CORRUPTIONS), ids=sorted(CORRUPTIONS))
+def test_corrupt_entry_is_a_miss_and_gets_rewritten(tmp_path, kind):
+    _, original = evaluate_through(tmp_path)
+    entry = sole_entry(tmp_path)
+    healthy = entry.read_text(encoding="utf-8")
+    CORRUPTIONS[kind](entry)
+
+    # A fresh service must treat the corrupt entry as a miss ...
+    service, recomputed = evaluate_through(tmp_path)
+    assert service.stats.misses == 1
+    assert service.stats.disk_hits == 0
+    # ... return the bit-identical result ...
+    assert recomputed.total_gbps == original.total_gbps
+    assert recomputed.counters == original.counters
+    # ... and re-write the entry so the next process hits cleanly.
+    assert entry.read_text(encoding="utf-8") == healthy
+    follower, _ = evaluate_through(tmp_path)
+    assert follower.stats.disk_hits == 1
+
+
+def test_corrupt_entry_counts_as_miss_in_recorder(tmp_path):
+    evaluate_through(tmp_path)
+    garbage(sole_entry(tmp_path))
+    rec = CountersRecorder()
+    service = EvaluationService(disk_cache=DiskCache(tmp_path), memoize=False)
+    service.evaluate(paper_config(), [SPEC], DirectoryState.cold(), recorder=rec)
+    assert rec.counter("sweep.cache.misses_count") == 1.0
+    assert rec.counter("sweep.cache.hits_count") == 0.0
+
+
+def test_clean_entry_still_hits(tmp_path):
+    """Control case: without corruption the second service hits disk."""
+    evaluate_through(tmp_path)
+    service, _ = evaluate_through(tmp_path)
+    assert service.stats.disk_hits == 1
+    assert service.stats.misses == 0
+
+
+def test_corruption_does_not_leak_into_results(tmp_path):
+    """The re-evaluated result must match a never-cached evaluation."""
+    _, original = evaluate_through(tmp_path)
+    wrong_schema(sole_entry(tmp_path))
+    _, recomputed = evaluate_through(tmp_path)
+    fresh = evaluation.evaluate(paper_config(), [SPEC], DirectoryState.cold())
+    assert recomputed.total_gbps == fresh.total_gbps == original.total_gbps

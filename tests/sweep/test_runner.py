@@ -1,5 +1,8 @@
 """SweepRunner: parallel, interleaved, and cached runs are bit-identical."""
 
+import pytest
+
+from repro.errors import SimulationError, SweepError
 from repro.memsim import DirectoryState, MachineConfig, Op, StreamSpec, paper_config
 from repro.sweep import EvaluationService, SweepRunner
 from repro.workloads.grids import SweepGrid, SweepPoint
@@ -97,3 +100,45 @@ class TestIsolation:
         forward = runner.totals(grid, directory=DirectoryState.cold())
         backward = runner.totals(reversed_grid, directory=DirectoryState.cold())
         assert forward == backward
+
+
+def poisoned_grid() -> SweepGrid:
+    """A grid whose middle point references a socket that does not exist.
+
+    The spec constructs fine — the failure only surfaces inside
+    ``evaluate``, which is exactly the case where a bare thread-pool
+    traceback would not say which point was at fault.
+    """
+    good = StreamSpec(op=Op.READ, threads=4, access_size=4096)
+    bad = StreamSpec(op=Op.READ, threads=4, access_size=4096, target_socket=9)
+    return SweepGrid(
+        name="poisoned",
+        points=(
+            SweepPoint(label="ok-before", params={}, streams=(good,)),
+            SweepPoint(label="bad-socket-9", params={}, streams=(bad,)),
+            SweepPoint(label="ok-after", params={}, streams=(good.with_(threads=8),)),
+        ),
+    )
+
+
+class TestPoisonedPoint:
+    @pytest.mark.parametrize("jobs", [1, 4], ids=["serial", "parallel"])
+    def test_error_names_grid_and_point(self, jobs):
+        runner = SweepRunner(EvaluationService(memoize=False), jobs=jobs)
+        with pytest.raises(SweepError) as excinfo:
+            runner.run(poisoned_grid())
+        message = str(excinfo.value)
+        assert "'poisoned'" in message
+        assert "'bad-socket-9'" in message
+
+    def test_original_exception_is_chained(self):
+        runner = SweepRunner(EvaluationService(memoize=False))
+        with pytest.raises(SweepError) as excinfo:
+            runner.run(poisoned_grid())
+        cause = excinfo.value.__cause__
+        assert cause is not None
+        assert "socket" in str(cause)
+
+    def test_sweep_error_is_a_simulation_error(self):
+        # Callers already catching SimulationError keep working.
+        assert issubclass(SweepError, SimulationError)

@@ -111,6 +111,77 @@ class TestHybrid:
         assert "PMEM-only" in out and "DRAM-only" in out
 
 
+@pytest.fixture
+def fresh_default_service():
+    """Isolate the process-wide evaluation service: earlier tests may
+    have warmed its memo cache, which would turn every evaluation into
+    a cache hit and suppress the memsim.* counters asserted below."""
+    from repro.sweep import set_default_service
+
+    previous = set_default_service(None)
+    yield
+    set_default_service(previous)
+
+
+class TestRunMetrics:
+    def test_metrics_prints_counter_report(self, fresh_default_service, capsys):
+        assert main(["run", "fig5", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "memsim.app.read_bytes" in out
+        assert "sweep.cache.misses_count" in out
+
+    def test_metrics_snapshot_written_as_canonical_json(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.golden import canonical_json
+
+        target = tmp_path / "metrics.json"
+        assert main(["run", "fig5", "--metrics", "-o", str(target)]) == 0
+        snapshot = json.loads(target.read_text(encoding="utf-8"))
+        assert set(snapshot) == {"counters", "histograms", "events", "spans"}
+        assert target.read_text(encoding="utf-8") == canonical_json(snapshot)
+
+    def test_without_metrics_no_counter_report(self, capsys):
+        assert main(["run", "fig5"]) == 0
+        assert "counters:" not in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_trace_to_stdout_is_valid_jsonl(self, capsys):
+        import json
+
+        assert main(["trace", "fig5"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["type"] == "span_begin"
+        assert records[0]["fields"] == {"exp_id": "fig5"}
+        assert records[-1]["type"] == "span_end"
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        # Deterministic by default: no wall-clock fields.
+        assert all("t" not in r for r in records)
+
+    def test_trace_to_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "fig5", "-o", str(target)]) == 0
+        assert "trace records" in capsys.readouterr().out
+        records = [
+            json.loads(line)
+            for line in target.read_text(encoding="utf-8").splitlines()
+        ]
+        assert any(r["type"] == "counter" for r in records)
+
+    def test_trace_timestamps_flag_adds_t(self, tmp_path):
+        import json
+
+        target = tmp_path / "trace.jsonl"
+        assert main(["trace", "fig5", "-o", str(target), "--timestamps"]) == 0
+        first = json.loads(target.read_text(encoding="utf-8").splitlines()[0])
+        assert "t" in first
+
+
 class TestLint:
     def test_lint_json_smoke(self, capsys):
         # The tree must be clean, so the subcommand exits 0 and emits a

@@ -34,6 +34,20 @@ def test_baseline_has_no_stale_entries():
     )
 
 
+def test_obs_package_is_lint_clean():
+    """The observability package must hold itself to the catalogue rule."""
+    config = load_config(start=REPO_ROOT)
+    report = run_analysis(paths=[REPO_ROOT / "src" / "repro" / "obs"], config=config)
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+
+
+def test_counter_name_rule_is_registered():
+    from repro.analysis.registry import all_rules
+
+    codes = {rule.code for rule in all_rules()}
+    assert "SIM104" in codes
+
+
 def test_every_baseline_entry_has_a_reason():
     from repro.analysis import Baseline
 
