@@ -7,6 +7,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     docstrings,
     exceptions,
     floats,
+    hoisting,
     obs,
     purity,
     units,

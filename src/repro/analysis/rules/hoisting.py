@@ -1,0 +1,77 @@
+"""Hot-path hoisting rule.
+
+* **SIM105 context-derivable-constant** — a simulation hot path calls a
+  topology derived-query method (``interleave_ways``, ``socket``,
+  ``physical_core_count``, ...) whose answer depends only on the
+  :class:`~repro.memsim.config.MachineConfig`. Those queries linear-scan
+  the topology tables; recomputing them per evaluation is exactly the
+  cost :class:`~repro.memsim.context.EvalContext` exists to hoist —
+  derive the value once in ``context.py`` and read the precomputed table
+  instead.
+
+Confined to the configured ``determinism-paths`` (the simulation hot
+paths); :mod:`repro.memsim.topology` itself and
+:mod:`repro.memsim.context` — the two modules whose *job* is answering
+these queries — are exempt. Matches attribute calls whose receiver chain
+mentions ``topology`` (``self.topology.socket(...)``,
+``config.topology.interleave_ways(...)``), so unrelated methods that
+happen to share a name do not fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+CONTEXT_DERIVABLE = Rule(
+    code="SIM105",
+    name="context-derivable-constant",
+    summary="per-call recomputation of a MachineConfig-derived table in a hot path",
+)
+
+#: SystemTopology derived queries whose results EvalContext precomputes.
+_DERIVED_QUERIES = frozenset({
+    "socket", "node", "imc", "core",
+    "dimms_of", "interleave_ways",
+    "physical_cores", "logical_cores", "physical_core_count",
+    "far_socket", "upi_between",
+    "capacity", "socket_capacity", "socket_count",
+})
+
+#: Files whose purpose is computing these queries: the topology itself
+#: and the context layer that hoists them.
+_EXEMPT_SUFFIXES = ("memsim/topology.py", "memsim/context.py")
+
+
+def _receiver_mentions_topology(node: ast.expr) -> bool:
+    """Whether the attribute chain under a call names ``topology``."""
+    while isinstance(node, ast.Attribute):
+        if node.attr == "topology":
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "topology"
+
+
+@register(CONTEXT_DERIVABLE)
+def check_context_derivable(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.config.in_determinism_scope(ctx.relpath):
+        return
+    if ctx.relpath.endswith(_EXEMPT_SUFFIXES):
+        return
+    for node in ast.walk(module):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _DERIVED_QUERIES:
+            continue
+        if not _receiver_mentions_topology(func.value):
+            continue
+        yield ctx.finding(
+            CONTEXT_DERIVABLE, node,
+            f"'{func.attr}' recomputes a MachineConfig-derived table per "
+            "call; hoist it into the per-config EvalContext "
+            "(repro.memsim.context) and read the precomputed value",
+        )

@@ -26,6 +26,9 @@ Commands
     Plan a hybrid PMEM-DRAM placement (the paper's future work, §9).
 ``lint``
     Run simlint, the repo's static-analysis pass (``repro.analysis``).
+``bench``
+    Run the ``benchmarks/`` suite (or a subset) and emit a canonical
+    ``BENCH_<timestamp>.json`` snapshot for the performance trajectory.
 """
 
 from __future__ import annotations
@@ -61,8 +64,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiments", nargs="+", metavar="EXP",
                      help="experiment ids, e.g. fig7 table1")
     run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
-                     help="evaluate sweep points on N threads (default 1; "
+                     help="evaluate sweep points on N workers (default 1; "
                           "results are bit-identical to serial runs)")
+    run.add_argument("--backend", choices=("serial", "thread", "process"),
+                     default="thread",
+                     help="sweep worker pool: 'thread' (default) shares the "
+                          "memo cache, 'process' scales cold grids across "
+                          "cores, 'serial' forces inline evaluation")
     run.add_argument("--cache-dir", metavar="PATH", default=None,
                      help="persist evaluation results under PATH and reuse "
                           "them across runs")
@@ -132,6 +140,30 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument("lint_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to python -m repro.analysis")
+
+    bench = sub.add_parser(
+        "bench", help="run benchmarks and emit a BENCH_<timestamp>.json snapshot"
+    )
+    bench.add_argument("benches", nargs="*", metavar="BENCH",
+                       help="bench names or substrings, e.g. fig03 "
+                            "procpool (default: the whole suite)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="run the pinned fast subset with one round and "
+                            "no warmup (seconds, not minutes)")
+    bench.add_argument("--no-warmup", action="store_true",
+                       help="skip pytest-benchmark's warmup phase")
+    bench.add_argument("--rounds", type=_positive_int, default=3, metavar="N",
+                       help="minimum timing rounds per bench (default 3)")
+    bench.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                       help="worker count recorded in the snapshot and "
+                            "exported to parameterised benches")
+    bench.add_argument("--backend", choices=("serial", "thread", "process"),
+                       default="thread",
+                       help="sweep backend recorded in the snapshot and "
+                            "exported to parameterised benches")
+    bench.add_argument("-o", "--output", metavar="PATH", default=None,
+                       help="output file or directory (default: "
+                            "./BENCH_<timestamp>.json)")
     return parser
 
 
@@ -146,6 +178,7 @@ def _cmd_list() -> int:
 def _cmd_run(
     experiment_ids: Sequence[str],
     jobs: int = 1,
+    backend: str = "thread",
     cache_dir: str | None = None,
     metrics: bool = False,
     output: str | None = None,
@@ -176,7 +209,7 @@ def _cmd_run(
     try:
         with scope:
             for exp_id in experiment_ids:
-                print(run_experiment(exp_id, jobs=jobs).render())
+                print(run_experiment(exp_id, jobs=jobs, backend=backend).render())
                 print()
         print(default_service().stats.describe())
     finally:
@@ -336,6 +369,28 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_benchmarks, write_payload
+    from repro.errors import BenchError
+
+    try:
+        payload = run_benchmarks(
+            args.benches or None,
+            smoke=args.smoke,
+            warmup=not args.no_warmup,
+            rounds=args.rounds,
+            jobs=args.jobs,
+            backend=args.backend,
+        )
+    except BenchError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 1
+    path = write_payload(payload, args.output)
+    benches = payload["benchmarks"]
+    print(f"wrote {len(benches)} benchmark results to {path}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -352,6 +407,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_run(
             args.experiments,
             jobs=args.jobs,
+            backend=args.backend,
             cache_dir=args.cache_dir,
             metrics=args.metrics,
             output=args.output,
@@ -374,6 +430,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(args.lint_args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError("unreachable")
 
 

@@ -58,6 +58,12 @@ class ExperimentError(ReproError):
     """An experiment definition is missing or produced malformed output."""
 
 
+class BenchError(ReproError):
+    """The benchmark harness failed: unknown selection, a failing bench,
+    or a result payload that does not match the ``repro.bench/1`` schema.
+    """
+
+
 class AnalysisError(ReproError):
     """The static-analysis pass (``repro.analysis``) was misconfigured.
 

@@ -13,7 +13,11 @@ from repro.experiments.result import ExperimentResult
 from repro.memsim import BandwidthModel
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(
         exp_id="bestpractices",

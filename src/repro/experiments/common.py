@@ -27,6 +27,7 @@ def evaluate_grid(
     *,
     directory: DirectoryState | None = None,
     jobs: int = 1,
+    backend: str = "thread",
 ) -> dict[str, float]:
     """Evaluate every sweep point; returns {label: total GB/s}.
 
@@ -34,12 +35,12 @@ def evaluate_grid(
     :class:`DirectoryState` (not by mutating the model), so far-access
     points reflect steady-state behaviour and the call leaves no state
     behind; experiments that specifically study the cold path (Fig. 5)
-    pass their own state values. ``jobs`` fans points out across a
-    thread pool with bit-identical results.
+    pass their own state values. ``jobs``/``backend`` fan points out
+    across a thread or process pool with bit-identical results.
     """
     if directory is None:
         directory = DirectoryState.warm(model.topology)
-    runner = SweepRunner(model.service, jobs=jobs)
+    runner = SweepRunner(model.service, jobs=jobs, backend=backend)
     return runner.totals(grid, config=model.config, directory=directory)
 
 

@@ -15,7 +15,11 @@ from repro.memsim.address import MappedRegion
 from repro.units import GIB
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="daxmode", title="devdax vs fsdax (§2.3)")
 

@@ -15,7 +15,11 @@ from repro.memsim import BandwidthModel, Layout, Op
 from repro.workloads import sequential_sweep
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(
         exp_id="fig3",
@@ -23,7 +27,7 @@ def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
     )
     for layout, panel in ((Layout.GROUPED, "a-grouped"), (Layout.INDIVIDUAL, "b-individual")):
         grid = sequential_sweep(Op.READ, layout=layout)
-        values = evaluate_grid(model, grid, jobs=jobs)
+        values = evaluate_grid(model, grid, jobs=jobs, backend=backend)
         for threads, curve in curves_by(values, grid, "threads", "access_size").items():
             result.add_series(f"{panel}/{threads}T", curve)
 

@@ -22,7 +22,11 @@ from repro.memsim import BandwidthModel, DirectoryState, Op, StreamSpec
 THREADS = (1, 4, 8, 18, 24, 36)
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     config, service = model.config, model.service
     result = ExperimentResult(exp_id="fig5", title="Read NUMA effects")

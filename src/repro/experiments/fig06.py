@@ -21,14 +21,18 @@ from repro.memsim import (
 from repro.workloads import MULTISOCKET_READ_LABELS, multisocket_read_scenarios
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(
         exp_id="fig6", title="Read from multiple sockets (PMEM and DRAM)"
     )
     for media, panel in ((MediaKind.PMEM, "a-pmem"), (MediaKind.DRAM, "b-dram")):
         grid = multisocket_read_scenarios(media=media)
-        values = evaluate_grid(model, grid, jobs=jobs)
+        values = evaluate_grid(model, grid, jobs=jobs, backend=backend)
         for label in MULTISOCKET_READ_LABELS:
             curve = {
                 str(point.params["threads"]): values[point.label]

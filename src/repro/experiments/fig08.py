@@ -34,7 +34,11 @@ def boomerang_cells(rows: dict[str, dict[str, float]], threshold: float = 10.0):
     }
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(
         exp_id="fig8", title="Write bandwidth heatmap: the boomerang"

@@ -13,10 +13,14 @@ from repro.memsim import BandwidthModel, Op, PinningPolicy
 from repro.workloads import pinning_sweep
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     grid = pinning_sweep(Op.WRITE)
-    values = evaluate_grid(model, grid, jobs=jobs)
+    values = evaluate_grid(model, grid, jobs=jobs, backend=backend)
     result = ExperimentResult(
         exp_id="fig9", title="Write bandwidth dependent on thread pinning"
     )

@@ -14,10 +14,14 @@ from repro.memsim import BandwidthModel, DirectoryState, Op, PinningPolicy, Stre
 from repro.workloads import MULTISOCKET_WRITE_LABELS, multisocket_write_scenarios
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     grid = multisocket_write_scenarios()
-    values = evaluate_grid(model, grid, jobs=jobs)
+    values = evaluate_grid(model, grid, jobs=jobs, backend=backend)
     result = ExperimentResult(exp_id="fig10", title="Writing data to multiple sockets")
     for label in MULTISOCKET_WRITE_LABELS:
         curve = {

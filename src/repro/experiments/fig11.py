@@ -14,7 +14,11 @@ from repro.memsim import BandwidthModel
 from repro.workloads.mixed import PAPER_READ_COUNTS, PAPER_WRITE_COUNTS
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="fig11", title="Mixed workload performance")
     reads: dict[str, float] = {}

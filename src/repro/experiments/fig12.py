@@ -16,12 +16,16 @@ from repro.units import GIB
 from repro.workloads import random_sweep
 
 
-def run(model: BandwidthModel | None = None, jobs: int = 1) -> ExperimentResult:
+def run(
+    model: BandwidthModel | None = None,
+    jobs: int = 1,
+    backend: str = "thread",
+) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="fig12", title="Random read bandwidth (PMEM/DRAM)")
     for media, panel in ((MediaKind.PMEM, "a-pmem"), (MediaKind.DRAM, "b-dram")):
         grid = random_sweep(Op.READ, media=media)
-        values = evaluate_grid(model, grid, jobs=jobs)
+        values = evaluate_grid(model, grid, jobs=jobs, backend=backend)
         for threads, curve in curves_by(values, grid, "threads", "access_size").items():
             result.add_series(f"{panel}/{threads}T", curve)
 

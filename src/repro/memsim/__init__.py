@@ -22,6 +22,7 @@ from repro.memsim.address import DaxMode, InterleaveMap, MappedRegion
 from repro.memsim.bandwidth import BandwidthModel, BandwidthResult, StreamResult
 from repro.memsim.calibration import DeviceCalibration, paper_calibration
 from repro.memsim.config import DirectoryState, MachineConfig, paper_config
+from repro.memsim.context import EvalContext, eval_context
 from repro.memsim.evaluation import evaluate
 from repro.memsim.counters import PerfCounters
 from repro.memsim.memory_mode import MemoryModeConfig, MemoryModeModel
@@ -37,6 +38,7 @@ __all__ = [
     "DaxMode",
     "DeviceCalibration",
     "DirectoryState",
+    "EvalContext",
     "InterleaveMap",
     "MachineConfig",
     "Layout",
@@ -54,6 +56,7 @@ __all__ = [
     "SystemTopology",
     "WearEstimate",
     "build_topology",
+    "eval_context",
     "evaluate",
     "paper_calibration",
     "paper_config",

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
 from repro.memsim.bandwidth import BandwidthModel
+from repro.memsim.context import eval_context
 from repro.memsim.engine import EngineConfig, simulate
 from repro.memsim.spec import Layout, Op, Pattern
 from repro.units import MIB
@@ -159,7 +160,8 @@ def cross_check(
                 pattern=anchor.pattern,
                 total_bytes=total,
                 region_bytes=256 * MIB if anchor.pattern is Pattern.RANDOM else None,
-            )
+            ),
+            context=eval_context(model.config),
         ).gbps
         report.outcomes.append(
             AnchorOutcome(anchor=anchor, analytic_gbps=analytic, engine_gbps=engine)

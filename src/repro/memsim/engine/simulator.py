@@ -29,11 +29,12 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.errors import SimulationError, WorkloadError
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
 from repro.memsim.address import InterleaveMap
 from repro.memsim.buffers import ReadBufferModel, WriteCombiningModel
 from repro.memsim.calibration import DeviceCalibration, paper_calibration
 from repro.memsim.constants import OPTANE_LINE
+from repro.memsim.context import EvalContext
 from repro.memsim.engine.trace import build_traces
 from repro.memsim.spec import Layout, Op, Pattern
 from repro.memsim.topology import MediaKind, SystemTopology, paper_server
@@ -175,20 +176,46 @@ class DiscreteEventEngine:
         calibration: DeviceCalibration | None = None,
         *,
         write_combining_enabled: bool = True,
+        context: EvalContext | None = None,
     ) -> None:
+        if context is not None:
+            # An EvalContext fixes topology, calibration, and the
+            # component models in one immutable bundle; mixing it with
+            # piecemeal overrides would let the replay disagree with the
+            # analytic model it cross-checks.
+            if topology is not None or calibration is not None:
+                raise ConfigurationError(
+                    "pass either an EvalContext or explicit "
+                    "topology/calibration, not both"
+                )
+            self.topology = context.config.topology
+            self.calibration = context.config.calibration
+            self.write_combining = context.components.write_combining
+            self.read_buffer = context.components.read_buffer
+            self._context = context
+            return
         self.topology = topology if topology is not None else paper_server()
         self.calibration = calibration if calibration is not None else paper_calibration()
         self.write_combining = WriteCombiningModel(
             self.calibration.pmem, enabled=write_combining_enabled
         )
         self.read_buffer = ReadBufferModel(self.calibration.pmem)
+        self._context = None
 
     # ------------------------------------------------------------------
+
+    def _ways(self, media: MediaKind) -> int:
+        """Interleave ways on socket 0 (the engine is single-socket)."""
+        if self._context is not None:
+            return self._context.interleave_ways[(0, media)]
+        # No context supplied (ad-hoc topology/calibration): derive the
+        # ways directly, once per run, not per op.
+        return self.topology.interleave_ways(0, media)  # simlint: ignore[context-derivable-constant] -- contextless engine fallback
 
     def _rates(self, config: EngineConfig) -> tuple[float, float, float]:
         """Return (per-DIMM GB/s, per-op overhead s, stream GB/s)."""
         cal = self.calibration
-        ways = self.topology.interleave_ways(0, config.media)
+        ways = self._ways(config.media)
         if config.media is MediaKind.PMEM:
             params = cal.pmem
         elif config.media is MediaKind.DRAM:
@@ -251,7 +278,7 @@ class DiscreteEventEngine:
         per-DIMM tallies (issued/queued/buffer-dropped bytes, line-buffer
         and write-combining hits) are emitted to it after the run.
         """
-        ways = self.topology.interleave_ways(0, config.media)
+        ways = self._ways(config.media)
         interleave = InterleaveMap(ways=ways)
         per_dimm_rate, op_overhead, stream_rate = self._rates(config)
         traces = build_traces(
@@ -464,7 +491,7 @@ def simulate_mixed(
     many concurrent readers stretch writers' queue waits in return.
     """
     engine = DiscreteEventEngine(**engine_kwargs)
-    ways = engine.topology.interleave_ways(0, config.media)
+    ways = engine._ways(config.media)
     interleave = InterleaveMap(ways=ways)
 
     sides = {}

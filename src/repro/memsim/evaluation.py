@@ -34,23 +34,30 @@ direction capacity, DRAM package efficiency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
 from typing import TYPE_CHECKING
 
-from repro.errors import SimulationError, WorkloadError
+from repro.errors import ConfigurationError, SimulationError, WorkloadError
 from repro.memsim import mixed as mixed_model
 from repro.memsim import random_access
 from repro.memsim.address import DaxMode, InterleaveMap, MappedRegion, fsdax_bandwidth_factor
-from repro.memsim.buffers import ReadBufferModel, WriteCombiningModel
 from repro.memsim.config import DirectoryState, MachineConfig
+from repro.memsim.context import Components, EvalContext, components, eval_context
 from repro.memsim.counters import PerfCounters
-from repro.memsim.imc import ImcModel
-from repro.memsim.prefetcher import PrefetcherModel
-from repro.memsim.scheduler import PinningPolicy, SchedulerModel
+from repro.memsim.scheduler import PinningPolicy
 from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
 from repro.memsim.topology import MediaKind
-from repro.memsim.upi import UpiModel
 from repro.units import GB
+
+__all__ = [
+    "BandwidthResult",
+    "Components",
+    "EvalContext",
+    "StreamResult",
+    "components",
+    "eval_context",
+    "evaluate",
+    "observable_pairs",
+]
 
 if TYPE_CHECKING:
     from repro.obs import Recorder
@@ -66,15 +73,41 @@ class StreamResult:
     notes: tuple[str, ...] = ()
 
 
-@dataclass
 class BandwidthResult:
-    """Outcome of evaluating one or more concurrent streams."""
+    """Outcome of evaluating one or more concurrent streams.
 
-    streams: tuple[StreamResult, ...]
-    counters: PerfCounters = field(default_factory=PerfCounters)
-    #: Directory state after this evaluation's far traversals completed;
-    #: ``None`` only for results built by code predating explicit state.
-    directory_after: DirectoryState | None = None
+    Stream results and directory states are immutable and freely shared
+    between copies; the mutable :class:`PerfCounters` (callers may
+    ``note()`` on it) is private to each result. A result handed out by
+    :meth:`copy` materializes its private counters *lazily*, on first
+    access — memo hits on large sweeps that never inspect counters skip
+    the duplication entirely, and a caller annotating a hit's counters
+    can never reach the stored entry.
+    """
+
+    __slots__ = ("streams", "directory_after", "_counters", "_counters_source")
+
+    def __init__(
+        self,
+        streams: tuple[StreamResult, ...] = (),
+        counters: PerfCounters | None = None,
+        directory_after: DirectoryState | None = None,
+    ) -> None:
+        self.streams = streams
+        self._counters = counters if counters is not None else PerfCounters()
+        self._counters_source: PerfCounters | None = None
+        #: Directory state after this evaluation's far traversals
+        #: completed; ``None`` only for results built by code predating
+        #: explicit state.
+        self.directory_after = directory_after
+
+    @property
+    def counters(self) -> PerfCounters:
+        """This result's private :class:`PerfCounters` (lazily copied)."""
+        if self._counters is None:
+            source = self._counters_source
+            self._counters = replace(source, notes=list(source.notes))
+        return self._counters
 
     @property
     def total_gbps(self) -> float:
@@ -94,15 +127,36 @@ class BandwidthResult:
     def copy(self) -> "BandwidthResult":
         """Independent copy safe to hand out from a cache.
 
-        Stream results and the directory state are immutable and shared;
-        the mutable :class:`PerfCounters` (callers may ``note()`` on it)
-        is duplicated.
+        The copy shares the immutable streams and directory state and
+        defers duplicating the counters until someone reads them; the
+        source counters are never exposed, so mutation cannot travel
+        between the stored entry and any delivered copy.
         """
-        counters = replace(self.counters, notes=list(self.counters.notes))
-        return BandwidthResult(
-            streams=self.streams,
-            counters=counters,
-            directory_after=self.directory_after,
+        dup = BandwidthResult.__new__(BandwidthResult)
+        dup.streams = self.streams
+        dup.directory_after = self.directory_after
+        dup._counters = None
+        # Chase at most one level: an unmaterialized copy's source *is*
+        # the pristine original.
+        dup._counters_source = (
+            self._counters if self._counters is not None else self._counters_source
+        )
+        return dup
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BandwidthResult):
+            return NotImplemented
+        return (
+            self.streams == other.streams
+            and self.counters == other.counters
+            and self.directory_after == other.directory_after
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthResult(streams={self.streams!r}, "
+            f"counters={self.counters!r}, "
+            f"directory_after={self.directory_after!r})"
         )
 
 
@@ -119,40 +173,13 @@ class _Solo:
     notes: list[str] = field(default_factory=list)
 
 
-@dataclass(frozen=True)
-class Components:
-    """The stateless component models derived from one configuration."""
-
-    prefetcher: PrefetcherModel
-    write_combining: WriteCombiningModel
-    read_buffer: ReadBufferModel
-    upi: UpiModel
-    imc: ImcModel
-    scheduler: SchedulerModel
-
-
-@lru_cache(maxsize=64)
-def components(config: MachineConfig) -> Components:
-    """Component models for ``config``, built once per distinct config."""
-    cal = config.calibration
-    return Components(
-        prefetcher=PrefetcherModel(cal.cpu, enabled=config.prefetcher_enabled),
-        write_combining=WriteCombiningModel(
-            cal.pmem, enabled=config.write_combining_enabled
-        ),
-        read_buffer=ReadBufferModel(cal.pmem),
-        upi=UpiModel(cal.upi, cal.pmem),
-        imc=ImcModel(),
-        scheduler=SchedulerModel(cal.cpu),
-    )
-
-
 def evaluate(
     config: MachineConfig,
     streams: list[StreamSpec] | tuple[StreamSpec, ...],
     directory: DirectoryState | None = None,
     *,
     recorder: "Recorder | None" = None,
+    context: EvalContext | None = None,
 ) -> BandwidthResult:
     """Evaluate concurrent streams, resolving shared-resource effects.
 
@@ -165,6 +192,14 @@ def evaluate(
     (:mod:`repro.obs`); it never influences the result and is excluded
     from the sweep service's cache keys, so passing one preserves
     purity. ``None`` (the default) skips all emission.
+
+    ``context`` supplies the config-derived tables
+    (:class:`~repro.memsim.context.EvalContext`); ``None`` (the default)
+    fetches them from the per-config LRU, so the parameter only matters
+    to callers that want to skip even the cache probe. Passing a context
+    built for a *different* config raises
+    :class:`~repro.errors.ConfigurationError` — the tables would
+    silently disagree with ``config`` otherwise.
 
     Interaction rules, applied in order:
 
@@ -183,10 +218,18 @@ def evaluate(
     if not streams:
         raise WorkloadError("evaluate() needs at least one stream")
     state = directory if directory is not None else DirectoryState.cold()
+    if context is None:
+        ctx = eval_context(config)
+    else:
+        if context.config is not config and context.config != config:
+            raise ConfigurationError(
+                "evaluation context was built for a different MachineConfig"
+            )
+        ctx = context
     for spec in streams:
-        config.topology.socket(spec.issuing_socket)
-        config.topology.socket(spec.target_socket)
-    ev = _Evaluator(config, state)
+        ctx.require_socket(spec.issuing_socket)
+        ctx.require_socket(spec.target_socket)
+    ev = _Evaluator(ctx, state)
     solos = [ev._solo(spec) for spec in streams]
 
     ev._apply_multi_stream_prefetch(solos)
@@ -250,11 +293,11 @@ class _Evaluator:
     here outlives the call, which keeps the module-level entry point pure.
     """
 
-    def __init__(self, config: MachineConfig, directory: DirectoryState) -> None:
-        self.config = config
-        self.topology = config.topology
-        self.calibration = config.calibration
-        parts = components(config)
+    def __init__(self, context: EvalContext, directory: DirectoryState) -> None:
+        self.ctx = context
+        self.config = context.config
+        self.calibration = context.config.calibration
+        parts = context.components
         self.prefetcher = parts.prefetcher
         self.write_combining = parts.write_combining
         self.read_buffer = parts.read_buffer
@@ -290,7 +333,7 @@ class _Evaluator:
         return per_thread
 
     def _issue_bandwidth(self, spec: StreamSpec) -> float:
-        physical = self.topology.physical_core_count(spec.issuing_socket)
+        physical = self.ctx.physical_core_count[spec.issuing_socket]
         placement = self.scheduler.placement(spec.threads, physical)
         if spec.pattern is Pattern.RANDOM:
             # Random issue rates are latency-bound and computed in
@@ -310,12 +353,12 @@ class _Evaluator:
     # ------------------------------------------------------------------
 
     def _interleave(self, spec: StreamSpec) -> InterleaveMap:
-        ways = self.topology.interleave_ways(spec.target_socket, spec.media)
-        if ways == 0:
+        interleave = self.ctx.interleave_maps[(spec.target_socket, spec.media)]
+        if interleave is None:
             raise WorkloadError(
                 f"no {spec.media.value} DIMMs on socket {spec.target_socket}"
             )
-        return InterleaveMap(ways=ways)
+        return interleave
 
     def _sequential_read_media_cap(self, spec: StreamSpec) -> float:
         cal = self.calibration
@@ -386,7 +429,7 @@ class _Evaluator:
 
     def _solo_sequential(self, spec: StreamSpec) -> _Solo:
         cal = self.calibration
-        physical = self.topology.physical_core_count(spec.issuing_socket)
+        physical = self.ctx.physical_core_count[spec.issuing_socket]
         issue = self._issue_bandwidth(spec)
         notes: list[str] = []
         read_amp = 1.0
@@ -455,17 +498,17 @@ class _Evaluator:
         if spec.is_read:
             warm = self.directory.is_warm(spec.issuing_socket, spec.target_socket)
             if spec.media is MediaKind.DRAM:
-                cap = self.upi.warm_far_read_cap(cal.dram.warm_far_read_max)
+                cap = self.ctx.warm_far_read_cap_dram
                 notes.append("far DRAM read: UPI-bound")
             elif warm:
-                cap = self.upi.warm_far_read_cap(cal.pmem.warm_far_read_max)
+                cap = self.ctx.warm_far_read_cap_pmem
                 notes.append("far PMEM read: directory warm")
             else:
                 cap = self.upi.cold_far_read_cap(spec.threads)
                 notes.append("far PMEM read: first run, directory cold")
             return min(gbps, cap)
         if spec.media is MediaKind.DRAM:
-            return min(gbps, self.upi.data_cap_per_direction)
+            return min(gbps, self.ctx.upi_data_cap)
         notes.append("far PMEM write: ntstore degrades to read-modify-write")
         return min(gbps, cal.pmem.far_write_max)
 
@@ -486,6 +529,7 @@ class _Evaluator:
             spec.access_size,
             spec.region_bytes,
             wc_efficiency=wc_eff,
+            tables=self.ctx.random_tables,
         )
         notes: list[str] = []
         read_amp = 1.0
@@ -501,13 +545,13 @@ class _Evaluator:
             gbps *= 0.6
             notes.append("unpinned random access")
         elif spec.pinning is PinningPolicy.NUMA_REGION:
-            physical = self.topology.physical_core_count(spec.issuing_socket)
+            physical = self.ctx.physical_core_count[spec.issuing_socket]
             gbps *= self.scheduler.pinned_factor(
                 spec.pinning, spec.threads, physical, write=not spec.is_read
             )
         if spec.far:
             cap = (
-                self.upi.warm_far_read_cap(cal.pmem.warm_far_read_max)
+                self.ctx.warm_far_read_cap_pmem
                 if spec.is_read
                 else cal.pmem.far_write_max
             )
@@ -572,7 +616,13 @@ class _Evaluator:
                 continue
             read_total = sum(s.gbps for s in reads)
             write_total = sum(s.gbps for s in writes)
-            outcome = mixed_model.resolve(self.calibration, media, read_total, write_total)
+            outcome = mixed_model.resolve(
+                self.calibration,
+                media,
+                read_total,
+                write_total,
+                params=self.ctx.mixed_params.get(media),
+            )
             read_scale = outcome.read_gbps / read_total if read_total > 0 else 1.0
             write_scale = outcome.write_gbps / write_total if write_total > 0 else 1.0
             for solo in reads:
@@ -627,7 +677,7 @@ class _Evaluator:
                 solo.notes.append("both sockets read far: mutual queue pollution")
 
     def _apply_upi_capacity(self, solos: list[_Solo]) -> None:
-        cap = self.upi.data_cap_per_direction
+        cap = self.ctx.upi_data_cap
         by_direction: dict[tuple[int, int], list[_Solo]] = {}
         for solo in solos:
             if not solo.spec.far:

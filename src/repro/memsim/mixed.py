@@ -56,20 +56,30 @@ class MixedOutcome:
         return self.write_gbps / self.write_alone_gbps
 
 
-def interference_factors(
-    cal: DeviceCalibration,
-    media: MediaKind,
-    read_alone_gbps: float,
-    write_alone_gbps: float,
-) -> tuple[float, float]:
-    """Return ``(read_factor, write_factor)`` for one device group.
+@dataclass(frozen=True)
+class MediaInterferenceParams:
+    """Interference coefficients of one media kind, derived from config.
+
+    A pure restatement of the branch :func:`media_params` takes — the
+    stored values are exactly what :func:`interference_factors` would
+    compute inline, so passing precomputed params (as the per-config
+    :class:`~repro.memsim.context.EvalContext` does) changes no floats.
+    """
+
+    read_max_gbps: float
+    write_max_gbps: float
+    read_coeff: float
+    write_coeff: float
+    write_exponent: float
+
+
+def media_params(cal: DeviceCalibration, media: MediaKind) -> MediaInterferenceParams:
+    """The interference coefficients for ``media`` under ``cal``.
 
     DRAM shows the same qualitative interference but much weaker (§5.1:
     "the read/write imbalance is considerably smaller on DRAM"), modeled
     by scaling both coefficients down.
     """
-    if read_alone_gbps < 0 or write_alone_gbps < 0:
-        raise WorkloadError("standalone bandwidths cannot be negative")
     m = cal.mixed
     if media is MediaKind.PMEM:
         read_max = cal.pmem.seq_read_max
@@ -83,12 +93,38 @@ def interference_factors(
         write_coeff = m.write_interference_coeff * dram_softening
     else:
         raise WorkloadError(f"mixed interference not modeled for media {media}")
+    return MediaInterferenceParams(
+        read_max_gbps=read_max,
+        write_max_gbps=write_max,
+        read_coeff=read_coeff,
+        write_coeff=write_coeff,
+        write_exponent=m.write_interference_exponent,
+    )
 
-    write_demand = min(1.0, write_alone_gbps / write_max)
-    read_demand = min(1.0, read_alone_gbps / read_max)
-    read_factor = 1.0 / (1.0 + read_coeff * write_demand)
+
+def interference_factors(
+    cal: DeviceCalibration,
+    media: MediaKind,
+    read_alone_gbps: float,
+    write_alone_gbps: float,
+    *,
+    params: MediaInterferenceParams | None = None,
+) -> tuple[float, float]:
+    """Return ``(read_factor, write_factor)`` for one device group.
+
+    ``params`` short-circuits the coefficient derivation with a
+    precomputed :class:`MediaInterferenceParams` (it must come from
+    :func:`media_params` on the same calibration — the evaluation context
+    guarantees this); the factors are bit-identical either way.
+    """
+    if read_alone_gbps < 0 or write_alone_gbps < 0:
+        raise WorkloadError("standalone bandwidths cannot be negative")
+    p = params if params is not None else media_params(cal, media)
+    write_demand = min(1.0, write_alone_gbps / p.write_max_gbps)
+    read_demand = min(1.0, read_alone_gbps / p.read_max_gbps)
+    read_factor = 1.0 / (1.0 + p.read_coeff * write_demand)
     write_factor = 1.0 / (
-        1.0 + write_coeff * read_demand ** m.write_interference_exponent
+        1.0 + p.write_coeff * read_demand ** p.write_exponent
     )
     return read_factor, write_factor
 
@@ -98,6 +134,8 @@ def resolve(
     media: MediaKind,
     read_alone_gbps: float,
     write_alone_gbps: float,
+    *,
+    params: MediaInterferenceParams | None = None,
 ) -> MixedOutcome:
     """Resolve a concurrent read/write pair into achieved bandwidths.
 
@@ -105,15 +143,18 @@ def resolve(
     not add up to more than one device's worth of time
     (``B_r / R_max + B_w / W_max <= 1``); if the interference factors
     alone leave the pair above capacity both sides are scaled down
-    proportionally.
+    proportionally. ``params`` is the same precomputed-coefficient
+    shortcut :func:`interference_factors` takes.
     """
     read_factor, write_factor = interference_factors(
-        cal, media, read_alone_gbps, write_alone_gbps
+        cal, media, read_alone_gbps, write_alone_gbps, params=params
     )
     read_gbps = read_alone_gbps * read_factor
     write_gbps = write_alone_gbps * write_factor
 
-    if media is MediaKind.PMEM:
+    if params is not None:
+        read_max, write_max = params.read_max_gbps, params.write_max_gbps
+    elif media is MediaKind.PMEM:
         read_max, write_max = cal.pmem.seq_read_max, cal.pmem.seq_write_max
     else:
         read_max, write_max = cal.dram.seq_read_max, cal.dram.seq_write_max

@@ -17,6 +17,8 @@ Random access differs from sequential access in three calibrated ways:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.errors import WorkloadError
 from repro.memsim.calibration import DeviceCalibration
 from repro.memsim.constants import OPTANE_LINE
@@ -31,23 +33,80 @@ def _check(spec_threads: int, access_size: int) -> None:
         raise WorkloadError("access size must be positive")
 
 
-def pmem_random_read_media_cap(cal: DeviceCalibration, access_size: int) -> float:
-    """Device-side ceiling for random PMEM reads at ``access_size``.
+#: Extra target-line fetch latency a random store pays before retiring.
+_RANDOM_WRITE_EXTRA: float = 300 * NS
+
+
+@dataclass(frozen=True)
+class RandomAccessTables:
+    """Config-derived constants of the random-access model.
+
+    Each field stores exactly the value the corresponding inline
+    expression produces, computed in the same operation order, so
+    passing precomputed tables (as the per-config
+    :class:`~repro.memsim.context.EvalContext` does) is bit-identical to
+    deriving them per call. Peaks are decimal GB/s; stream rates are
+    bytes/second; the write overhead is seconds.
+    """
+
+    pmem_read_peak_gbps: float        # seq_read_max * random_read_peak_fraction
+    pmem_write_peak_gbps: float       # seq_write_max * random_write_peak_fraction
+    pmem_read_stream_bps: float       # random_read_stream_rate * GB
+    pmem_write_stream_bps: float      # write_stream_rate * GB
+    pmem_write_overhead_seconds: float  # write_op_overhead + random line fetch
+    dram_read_small_peak_gbps: float  # seq_read_max * random_small_region_fraction
+    dram_read_large_peak_gbps: float
+    dram_write_small_peak_gbps: float
+    dram_write_large_peak_gbps: float
+    dram_read_stream_bps: float       # read_stream_rate * GB
+    dram_write_stream_bps: float      # write_stream_rate * GB
+
+
+def tables_for(cal: DeviceCalibration) -> RandomAccessTables:
+    """Derive the :class:`RandomAccessTables` for one calibration."""
+    p = cal.pmem
+    d = cal.dram
+    return RandomAccessTables(
+        pmem_read_peak_gbps=p.seq_read_max * p.random_read_peak_fraction,
+        pmem_write_peak_gbps=p.seq_write_max * p.random_write_peak_fraction,
+        pmem_read_stream_bps=p.random_read_stream_rate * GB,
+        pmem_write_stream_bps=p.write_stream_rate * GB,
+        pmem_write_overhead_seconds=p.write_op_overhead + _RANDOM_WRITE_EXTRA,
+        dram_read_small_peak_gbps=d.seq_read_max * d.random_small_region_fraction,
+        dram_read_large_peak_gbps=d.seq_read_max * d.random_large_region_fraction,
+        dram_write_small_peak_gbps=d.seq_write_max * d.random_small_region_fraction,
+        dram_write_large_peak_gbps=d.seq_write_max * d.random_large_region_fraction,
+        dram_read_stream_bps=d.read_stream_rate * GB,
+        dram_write_stream_bps=d.write_stream_rate * GB,
+    )
+
+
+def pmem_random_read_media_cap(
+    cal: DeviceCalibration,
+    access_size: int,
+    *,
+    tables: RandomAccessTables | None = None,
+) -> float:
+    """Device-side ceiling for random PMEM reads at ``access_size``, GB/s.
 
     Ramp anchored at ~50% of sequential for 256 B and ~2/3 at >= 4 KB;
     sub-line accesses pay the 256 B read amplification on top.
     """
-    p = cal.pmem
+    t = tables if tables is not None else tables_for(cal)
     effective = max(access_size, OPTANE_LINE)
     ramp = min(1.0, (effective / 4096.0) ** 0.10)
-    cap = p.seq_read_max * p.random_read_peak_fraction * ramp
+    cap = t.pmem_read_peak_gbps * ramp
     if access_size < OPTANE_LINE:
         cap *= access_size / OPTANE_LINE
     return cap
 
 
 def pmem_random_read_issue(
-    cal: DeviceCalibration, threads: int, access_size: int
+    cal: DeviceCalibration,
+    threads: int,
+    access_size: int,
+    *,
+    tables: RandomAccessTables | None = None,
 ) -> float:
     """Issue-side random read bandwidth of ``threads`` threads, GB/s.
 
@@ -57,24 +116,35 @@ def pmem_random_read_issue(
     reads").
     """
     _check(threads, access_size)
-    p = cal.pmem
-    per_op_seconds = p.random_read_latency + access_size / (p.random_read_stream_rate * GB)
+    t = tables if tables is not None else tables_for(cal)
+    per_op_seconds = cal.pmem.random_read_latency + access_size / t.pmem_read_stream_bps
     return threads * access_size / per_op_seconds / GB
 
 
-def pmem_random_read(cal: DeviceCalibration, threads: int, access_size: int) -> float:
+def pmem_random_read(
+    cal: DeviceCalibration,
+    threads: int,
+    access_size: int,
+    *,
+    tables: RandomAccessTables | None = None,
+) -> float:
     """Random PMEM read bandwidth, GB/s."""
     _check(threads, access_size)
     return min(
-        pmem_random_read_issue(cal, threads, access_size),
-        pmem_random_read_media_cap(cal, access_size),
+        pmem_random_read_issue(cal, threads, access_size, tables=tables),
+        pmem_random_read_media_cap(cal, access_size, tables=tables),
     )
 
 
 def pmem_random_write_media_cap(
-    cal: DeviceCalibration, threads: int, access_size: int, wc_efficiency: float
+    cal: DeviceCalibration,
+    threads: int,
+    access_size: int,
+    wc_efficiency: float,
+    *,
+    tables: RandomAccessTables | None = None,
 ) -> float:
-    """Device-side ceiling for random PMEM writes.
+    """Device-side ceiling for random PMEM writes, GB/s.
 
     Random writes inherit the sequential write-combining pressure (passed
     in as ``wc_efficiency``, computed by the caller's
@@ -84,17 +154,21 @@ def pmem_random_write_media_cap(
     _check(threads, access_size)
     if not 0 < wc_efficiency <= 1:
         raise WorkloadError("write-combining efficiency must be in (0, 1]")
-    p = cal.pmem
+    t = tables if tables is not None else tables_for(cal)
     effective = max(access_size, OPTANE_LINE)
     ramp = min(1.0, (effective / 4096.0) ** 0.15)
-    cap = p.seq_write_max * p.random_write_peak_fraction * ramp * wc_efficiency
+    cap = t.pmem_write_peak_gbps * ramp * wc_efficiency
     if access_size < OPTANE_LINE:
         cap *= access_size / OPTANE_LINE
     return cap
 
 
 def pmem_random_write_issue(
-    cal: DeviceCalibration, threads: int, access_size: int
+    cal: DeviceCalibration,
+    threads: int,
+    access_size: int,
+    *,
+    tables: RandomAccessTables | None = None,
 ) -> float:
     """Issue-side random write bandwidth, GB/s.
 
@@ -102,9 +176,8 @@ def pmem_random_write_issue(
     random target-line fetch latency before the store can retire.
     """
     _check(threads, access_size)
-    p = cal.pmem
-    random_extra = 300 * NS
-    per_op = p.write_op_overhead + random_extra + access_size / (p.write_stream_rate * GB)
+    t = tables if tables is not None else tables_for(cal)
+    per_op = t.pmem_write_overhead_seconds + access_size / t.pmem_write_stream_bps
     return threads * access_size / per_op / GB
 
 
@@ -123,27 +196,37 @@ def dram_channel_fraction(cal: DeviceCalibration, region_bytes: int) -> float:
 
 
 def dram_random_read(
-    cal: DeviceCalibration, threads: int, access_size: int, region_bytes: int
+    cal: DeviceCalibration,
+    threads: int,
+    access_size: int,
+    region_bytes: int,
+    *,
+    tables: RandomAccessTables | None = None,
 ) -> float:
     """Random DRAM read bandwidth, GB/s (region-size dependent)."""
     _check(threads, access_size)
-    d = cal.dram
+    t = tables if tables is not None else tables_for(cal)
     channels = dram_channel_fraction(cal, region_bytes)
     size_ramp = min(1.0, (access_size / 4096.0) ** 0.22)
-    fraction = (
-        d.random_small_region_fraction
+    # The small-region peak already encodes the channel loss.
+    peak = (
+        t.dram_read_small_peak_gbps
         if channels < 1.0
-        else d.random_large_region_fraction
+        else t.dram_read_large_peak_gbps
     )
-    # ``fraction`` already encodes the channel loss for small regions.
-    cap = d.seq_read_max * fraction * size_ramp
-    per_op = d.random_read_latency + access_size / (d.read_stream_rate * GB)
+    cap = peak * size_ramp
+    per_op = cal.dram.random_read_latency + access_size / t.dram_read_stream_bps
     issue = threads * access_size / per_op / GB
     return min(issue, cap)
 
 
 def dram_random_write(
-    cal: DeviceCalibration, threads: int, access_size: int, region_bytes: int
+    cal: DeviceCalibration,
+    threads: int,
+    access_size: int,
+    region_bytes: int,
+    *,
+    tables: RandomAccessTables | None = None,
 ) -> float:
     """Random DRAM write bandwidth, GB/s.
 
@@ -152,16 +235,16 @@ def dram_random_write(
     on the DRAM bandwidth and more threads achieve higher bandwidths").
     """
     _check(threads, access_size)
-    d = cal.dram
+    t = tables if tables is not None else tables_for(cal)
     channels = dram_channel_fraction(cal, region_bytes)
     size_ramp = min(1.0, (access_size / 2048.0) ** 0.15)
-    fraction = (
-        d.random_small_region_fraction
+    peak = (
+        t.dram_write_small_peak_gbps
         if channels < 1.0
-        else d.random_large_region_fraction
+        else t.dram_write_large_peak_gbps
     )
-    cap = d.seq_write_max * fraction * size_ramp
-    per_op = d.random_read_latency + access_size / (d.write_stream_rate * GB)
+    cap = peak * size_ramp
+    per_op = cal.dram.random_read_latency + access_size / t.dram_write_stream_bps
     issue = threads * access_size / per_op / GB
     return min(issue, cap)
 
@@ -174,17 +257,25 @@ def random_bandwidth(
     access_size: int,
     region_bytes: int,
     wc_efficiency: float = 1.0,
+    *,
+    tables: RandomAccessTables | None = None,
 ) -> float:
     """Random-access bandwidth in decimal GB/s (dispatch helper)."""
     if media is MediaKind.PMEM:
         if op_is_read:
-            return pmem_random_read(cal, threads, access_size)
+            return pmem_random_read(cal, threads, access_size, tables=tables)
         return min(
-            pmem_random_write_issue(cal, threads, access_size),
-            pmem_random_write_media_cap(cal, threads, access_size, wc_efficiency),
+            pmem_random_write_issue(cal, threads, access_size, tables=tables),
+            pmem_random_write_media_cap(
+                cal, threads, access_size, wc_efficiency, tables=tables
+            ),
         )
     if media is MediaKind.DRAM:
         if op_is_read:
-            return dram_random_read(cal, threads, access_size, region_bytes)
-        return dram_random_write(cal, threads, access_size, region_bytes)
+            return dram_random_read(
+                cal, threads, access_size, region_bytes, tables=tables
+            )
+        return dram_random_write(
+            cal, threads, access_size, region_bytes, tables=tables
+        )
     raise WorkloadError(f"random access not modeled for media {media}")

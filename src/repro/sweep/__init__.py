@@ -6,15 +6,16 @@ Layering (see DESIGN.md §4):
   ``evaluate(MachineConfig, streams, DirectoryState)``;
 * :class:`EvaluationService` wraps it in a content-keyed memo cache and
   an optional on-disk cache (:class:`~repro.sweep.cache.DiskCache`);
-* :class:`SweepRunner` fans whole grids out over a thread pool with
-  bit-identical, order-independent results keyed by point label.
+* :class:`SweepRunner` fans whole grids out over a thread or process
+  pool (:mod:`repro.sweep.procpool`) with bit-identical,
+  order-independent results keyed by point label.
 
 Everything above this package — experiments, the SSB cost model, the
 core advisor/optimizer — evaluates bandwidth through here.
 """
 
 from repro.sweep.cache import CacheStats, DiskCache, MemoCache
-from repro.sweep.runner import SweepRunner
+from repro.sweep.runner import BACKENDS, SweepRunner
 from repro.sweep.service import (
     EvaluationService,
     default_service,
@@ -22,6 +23,7 @@ from repro.sweep.service import (
 )
 
 __all__ = [
+    "BACKENDS",
     "CacheStats",
     "DiskCache",
     "EvaluationService",

@@ -1,0 +1,203 @@
+"""Process-pool sweep backend: real multicore fan-out for pure Python.
+
+One analytic evaluation is microseconds of pure Python, so a thread pool
+gains nothing — the GIL serialises the arithmetic. A process pool does
+scale, provided the per-point overhead is kept away from the hot path:
+
+* **Chunking** — grid points are shipped in contiguous chunks (about
+  :data:`_CHUNKS_PER_WORKER` per worker), so pickling and queue traffic
+  amortise over many evaluations while stragglers can still steal work.
+* **Config shipped once** — the :class:`~repro.memsim.config.MachineConfig`
+  and directory state travel in the pool *initializer*, not with every
+  task; workers derive their own per-config
+  :class:`~repro.memsim.context.EvalContext` on first use.
+* **Per-worker services** — each worker owns a memoizing
+  :class:`~repro.sweep.service.EvaluationService`. If the parent service
+  is disk-backed, workers attach to the same directory (the disk format
+  uses atomic writes, so concurrent processes are safe) and results are
+  reusable across the pool and across runs.
+
+Determinism and accounting survive the boundary:
+
+* Results are assembled **by point label in grid order**, so
+  ``backend="process"`` is bit-identical to serial regardless of
+  completion order (property-tested in ``tests/sweep/test_procpool.py``).
+* A failing point raises :class:`~repro.errors.SweepError` naming the
+  grid and the point label. Pickling drops ``__cause__`` chains, so the
+  worker embeds the original error text in the message; infrastructure
+  failures (unpicklable payloads, a died worker) are wrapped in a
+  parent-side chained ``SweepError`` instead of hanging.
+* Worker-side counters are accumulated in a per-chunk
+  :class:`~repro.obs.CountersRecorder` and its **snapshot** is merged
+  into the parent recorder (:func:`repro.obs.merge_snapshot`) — sending
+  a snapshot per chunk costs one small dict instead of a stream of IPC
+  messages per counter increment, and the histogram monoid
+  (count/total/min/max) merges exactly. Cache hit/miss tallies fold into
+  the parent service's :class:`~repro.sweep.cache.CacheStats` the same
+  way, so ``--metrics`` accounts for every point.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.errors import SweepError
+from repro.memsim.config import DirectoryState, MachineConfig
+from repro.memsim.evaluation import BandwidthResult
+from repro.obs import (
+    NULL_RECORDER,
+    CountersRecorder,
+    Recorder,
+    merge_snapshot,
+    set_default_recorder,
+)
+from repro.sweep.cache import DiskCache
+from repro.sweep.service import EvaluationService
+from repro.workloads.grids import SweepGrid, SweepPoint
+
+#: Target chunks per worker. More chunks balance load better when some
+#: points are much slower than others; fewer chunks amortise pickling
+#: better. Four keeps both effects small for the paper's 88-point grids.
+_CHUNKS_PER_WORKER = 4
+
+#: Per-process worker state, installed by the pool initializer.
+_WORKER: "_WorkerState | None" = None
+
+
+@dataclass
+class _WorkerState:
+    """Everything a worker process needs, shipped once at pool start."""
+
+    config: MachineConfig
+    directory: DirectoryState
+    grid_name: str
+    service: EvaluationService
+    observing: bool
+
+
+def _init_worker(
+    config: MachineConfig,
+    directory: DirectoryState,
+    grid_name: str,
+    cache_root: str | None,
+    observing: bool,
+) -> None:
+    """Pool initializer: build this worker's service and pin the inputs."""
+    global _WORKER
+    # Forked children inherit the parent's default recorder; evaluations
+    # here report through explicit per-chunk recorders instead.
+    set_default_recorder(None)
+    disk = DiskCache(cache_root) if cache_root is not None else None
+    _WORKER = _WorkerState(
+        config=config,
+        directory=directory,
+        grid_name=grid_name,
+        service=EvaluationService(disk_cache=disk),
+        observing=observing,
+    )
+
+
+def _run_chunk(
+    points: tuple[SweepPoint, ...],
+) -> tuple[
+    list[tuple[str, BandwidthResult]],
+    dict[str, object] | None,
+    tuple[int, int, int],
+]:
+    """Evaluate one chunk; return results, counters snapshot, stats delta."""
+    worker = _WORKER
+    if worker is None:  # pragma: no cover - initializer always runs first
+        raise SweepError("process-pool worker used before initialization")
+    rec = CountersRecorder() if worker.observing else None
+    sink: Recorder = rec if rec is not None else NULL_RECORDER
+    stats = worker.service.stats
+    hits0, misses0, disk0 = stats.hits, stats.misses, stats.disk_hits
+    results: list[tuple[str, BandwidthResult]] = []
+    for point in points:
+        started = time.perf_counter() if rec is not None else 0.0
+        try:
+            result = worker.service.evaluate(
+                worker.config, point.streams, worker.directory, recorder=sink
+            )
+        except SweepError:
+            raise
+        except Exception as exc:
+            # Chains do not survive pickling back to the parent, so the
+            # original error's text is embedded in the message; the format
+            # matches the serial/thread path in repro.sweep.runner.
+            raise SweepError(
+                f"sweep {worker.grid_name!r} point {point.label!r} failed: {exc}"
+            ) from exc
+        if rec is not None:
+            rec.incr("sweep.points_count")
+            rec.observe("sweep.point.wall_seconds", time.perf_counter() - started)
+        results.append((point.label, result))
+    delta = (stats.hits - hits0, stats.misses - misses0, stats.disk_hits - disk0)
+    return results, (rec.snapshot() if rec is not None else None), delta
+
+
+def _chunked(
+    points: list[SweepPoint], jobs: int
+) -> list[tuple[SweepPoint, ...]]:
+    """Split ``points`` into contiguous chunks, deterministically."""
+    size = max(1, math.ceil(len(points) / (jobs * _CHUNKS_PER_WORKER)))
+    return [tuple(points[i : i + size]) for i in range(0, len(points), size)]
+
+
+def run_grid(
+    grid: SweepGrid,
+    points: list[SweepPoint],
+    *,
+    config: MachineConfig,
+    directory: DirectoryState,
+    jobs: int,
+    service: EvaluationService,
+    recorder: Recorder,
+) -> dict[str, BandwidthResult]:
+    """Evaluate ``points`` across a process pool; ``{label: result}``.
+
+    The returned dict is in grid order and bit-identical to the serial
+    path. Worker counters and cache statistics are folded into
+    ``recorder`` and ``service.stats`` so observability reflects the
+    whole sweep, not just the parent process.
+    """
+    observing = recorder.enabled
+    disk = service.disk_cache
+    cache_root = str(disk.root) if disk is not None else None
+    merged: dict[str, BandwidthResult] = {}
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(config, directory, grid.name, cache_root, observing),
+    ) as pool:
+        futures = [pool.submit(_run_chunk, chunk) for chunk in _chunked(points, jobs)]
+        try:
+            # Futures are consumed in submission order == grid order, so
+            # the first error surfaced is the first poisoned point, same
+            # as serial execution.
+            for future in futures:
+                chunk_results, snapshot, (hits, misses, disk_hits) = future.result()
+                for label, result in chunk_results:
+                    merged[label] = result
+                if snapshot is not None:
+                    merge_snapshot(recorder, snapshot)
+                service.stats.hits += hits
+                service.stats.misses += misses
+                service.stats.disk_hits += disk_hits
+        except SweepError:
+            for pending in futures:
+                pending.cancel()
+            raise
+        except Exception as exc:
+            # Unpicklable payloads, a worker killed mid-chunk, a broken
+            # pool: surface a chained SweepError instead of a hang or an
+            # anonymous traceback.
+            for pending in futures:
+                pending.cancel()
+            raise SweepError(
+                f"sweep {grid.name!r} failed in a worker process: {exc}"
+            ) from exc
+    return {point.label: merged[point.label] for point in points}

@@ -3,12 +3,22 @@
 A :class:`SweepRunner` evaluates every point of a
 :class:`~repro.workloads.grids.SweepGrid` through an
 :class:`~repro.sweep.EvaluationService`, optionally fanning out across a
-thread pool. Results are keyed and assembled by point *label* in grid
+worker pool. Results are keyed and assembled by point *label* in grid
 order, and every point is evaluated against the same immutable inputs —
-so ``jobs=4`` is bit-identical to ``jobs=1`` regardless of completion
-order. (Threads, not processes: one evaluation is microseconds of pure
-Python, and the wins come from the shared memo cache, which a process
-pool would fracture.)
+so any ``jobs``/``backend`` combination is bit-identical to serial
+regardless of completion order.
+
+Three backends:
+
+* ``"serial"`` — evaluate inline, ignoring ``jobs``; the reference
+  behaviour the others are tested against.
+* ``"thread"`` (default) — a thread pool. The GIL serialises the pure
+  Python arithmetic, but hits on the *shared* memo cache overlap, which
+  is the common case for re-priced grids.
+* ``"process"`` — a :mod:`repro.sweep.procpool` process pool for real
+  multicore scaling on cold grids. Each worker owns its own memoizing
+  service (optionally sharing the parent's disk-cache directory), and
+  worker counters/cache statistics are merged back into the parent.
 
 A point that raises — serial or parallel — is re-raised as
 :class:`~repro.errors.SweepError` naming the grid and the point label,
@@ -28,6 +38,9 @@ from repro.obs import Recorder, default_recorder
 from repro.sweep.service import EvaluationService, default_service
 from repro.workloads.grids import SweepGrid, SweepPoint
 
+#: Recognised ``SweepRunner`` backends, in documentation order.
+BACKENDS = ("serial", "thread", "process")
+
 
 class SweepRunner:
     """Evaluates sweep grids, point-parallel, through a shared service.
@@ -38,8 +51,11 @@ class SweepRunner:
         Evaluation service to route points through; defaults to the
         process-wide shared service.
     jobs:
-        Worker threads for the fan-out; ``1`` (default) evaluates
-        inline.
+        Workers for the fan-out; ``1`` (default) evaluates inline.
+    backend:
+        ``"serial"``, ``"thread"`` (default), or ``"process"`` — see the
+        module docstring for the trade-offs. All three produce
+        bit-identical results.
     recorder:
         Observability sink for per-point counters and wall time;
         defaults to the process-wide :func:`repro.obs.default_recorder`.
@@ -50,13 +66,20 @@ class SweepRunner:
         service: EvaluationService | None = None,
         *,
         jobs: int = 1,
+        backend: str = "thread",
         recorder: Recorder | None = None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown sweep backend {backend!r}; expected one of "
+                + ", ".join(repr(b) for b in BACKENDS)
+            )
         self._service = service
         self._recorder = recorder
         self.jobs = jobs
+        self.backend = backend
 
     @property
     def service(self) -> EvaluationService:
@@ -82,6 +105,21 @@ class SweepRunner:
         rec = self._recorder if self._recorder is not None else default_recorder()
         observing = rec.enabled
 
+        if self.backend == "process" and self.jobs > 1 and len(points) > 1:
+            # Imported lazily: most sweeps never pay for the
+            # concurrent.futures process machinery.
+            from repro.sweep import procpool
+
+            return procpool.run_grid(
+                grid,
+                points,
+                config=cfg,
+                directory=state,
+                jobs=self.jobs,
+                service=self.service,
+                recorder=rec,
+            )
+
         def evaluate_point(point: SweepPoint) -> BandwidthResult:
             started = time.perf_counter() if observing else 0.0
             try:
@@ -105,7 +143,7 @@ class SweepRunner:
                 )
             return result
 
-        if self.jobs == 1 or len(points) <= 1:
+        if self.backend == "serial" or self.jobs == 1 or len(points) <= 1:
             results = [evaluate_point(point) for point in points]
         else:
             with ThreadPoolExecutor(max_workers=self.jobs) as pool:

@@ -19,6 +19,8 @@ full input state still determines the returned
 
 from __future__ import annotations
 
+import threading
+
 from repro.memsim import evaluation
 from repro.memsim.config import DirectoryState, MachineConfig
 from repro.memsim.evaluation import BandwidthResult, observable_pairs
@@ -50,6 +52,16 @@ class EvaluationService:
         self._memo = MemoCache() if memoize else None
         self._disk = disk_cache
         self.stats = CacheStats()
+
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        """The backing :class:`DiskCache`, if any.
+
+        Exposed so the process-pool sweep backend can point worker-side
+        services at the same directory (the disk format is atomic-write,
+        so concurrent readers and writers are safe).
+        """
+        return self._disk
 
     def evaluate(
         self,
@@ -124,6 +136,12 @@ class EvaluationService:
         The stored result was computed against the *normalized* directory;
         the caller's follow-up state must include everything the caller
         already had warm plus this evaluation's far traversals.
+
+        The copy is lazy: it shares the immutable streams, and its
+        counters are materialized only if the caller reads them —
+        repeated memo hits on a large sweep pay one directory rebase and
+        nothing else, and annotating a delivered result's counters can
+        never corrupt the stored entry.
         """
         result = stored.copy()
         after = state
@@ -135,13 +153,22 @@ class EvaluationService:
 
 
 _DEFAULT_SERVICE: EvaluationService | None = None
+_DEFAULT_SERVICE_LOCK = threading.Lock()
 
 
 def default_service() -> EvaluationService:
-    """The process-wide shared service (created on first use)."""
+    """The process-wide shared service (created on first use).
+
+    Creation is guarded by a lock: without it, two threads hitting the
+    first call concurrently could each construct a service and split the
+    memo cache between them (the classic check-then-set race). The
+    fast path re-checks under the lock and stays lock-free afterwards.
+    """
     global _DEFAULT_SERVICE
     if _DEFAULT_SERVICE is None:
-        _DEFAULT_SERVICE = EvaluationService()
+        with _DEFAULT_SERVICE_LOCK:
+            if _DEFAULT_SERVICE is None:
+                _DEFAULT_SERVICE = EvaluationService()
     return _DEFAULT_SERVICE
 
 

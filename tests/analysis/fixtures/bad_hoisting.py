@@ -1,0 +1,19 @@
+"""Fixture: per-call recomputation of MachineConfig-derived tables."""
+
+
+def hot_path(self, config, spec):
+    ways = self.topology.interleave_ways(0, spec.media)  # derived query
+    cores = config.topology.physical_core_count(spec.issuing_socket)  # derived query
+    sock = self.config.topology.socket(spec.target_socket)  # chained receiver
+    return ways + cores + sock.socket_id
+
+
+def bare_name(topology):
+    return topology.socket_count()  # bare 'topology' receiver still fires
+
+
+def fine(self, context, registry):
+    ways = context.interleave_ways[(0, "pmem")]  # precomputed table: fine
+    other = registry.socket(3)  # receiver is not a topology: fine
+    topo = self.topology  # bare attribute read, no call: fine
+    return ways + other + topo

@@ -165,6 +165,45 @@ class TestObsRules:
         assert all(f.line < 12 for f in findings if f.rule == "SIM104")
 
 
+class TestHoistingRules:
+    def test_context_derivable_fires_on_topology_queries(self):
+        findings, _ = run_fixture("bad_hoisting.py")
+        bad = [f for f in findings if f.rule == "SIM105"]
+        assert {f.line for f in bad} == {5, 6, 7, 12}
+
+    def test_message_points_at_eval_context(self):
+        findings, _ = run_fixture("bad_hoisting.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM105")
+        assert "EvalContext" in messages
+        assert "'interleave_ways'" in messages
+
+    def test_precomputed_tables_and_foreign_receivers_not_flagged(self):
+        findings, _ = run_fixture("bad_hoisting.py")
+        assert all(f.line < 14 for f in findings if f.rule == "SIM105")
+
+    def test_topology_and_context_modules_exempt(self, tmp_path):
+        scoped = SimlintConfig(root=tmp_path, determinism_paths=("repro/memsim",))
+        source = "def rates(self):\n    return self.topology.interleave_ways(0, 'pmem')\n"
+        exempt = tmp_path / "repro" / "memsim"
+        exempt.mkdir(parents=True)
+        for name in ("topology.py", "context.py"):
+            (exempt / name).write_text(source)
+            findings, _ = analyze_file(exempt / name, scoped)
+            assert findings == [], name
+        (exempt / "evaluation.py").write_text(source)
+        findings, _ = analyze_file(exempt / "evaluation.py", scoped)
+        assert [f.rule for f in findings] == ["SIM105"]
+
+    def test_out_of_scope_paths_not_flagged(self, tmp_path):
+        scoped = SimlintConfig(root=tmp_path, determinism_paths=("repro/memsim",))
+        target = tmp_path / "repro" / "experiments"
+        target.mkdir(parents=True)
+        probe = target / "driver.py"
+        probe.write_text("def go(model):\n    return model.topology.socket(0)\n")
+        findings, _ = analyze_file(probe, scoped)
+        assert findings == []
+
+
 class TestCleanAndSuppressed:
     def test_clean_fixture_has_no_findings(self):
         findings, suppressed = run_fixture("clean.py")

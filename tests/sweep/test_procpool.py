@@ -1,0 +1,160 @@
+"""Process-pool sweep backend: bit-identity, error propagation, merging."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SweepError
+from repro.memsim import Layout, Op, StreamSpec
+from repro.obs import CountersRecorder
+from repro.sweep import DiskCache, EvaluationService, SweepRunner
+from repro.sweep.procpool import _chunked
+from repro.workloads.grids import SweepGrid, SweepPoint
+from repro.workloads.sequential import sequential_sweep
+
+
+def fig3_grid() -> SweepGrid:
+    return sequential_sweep(Op.READ)
+
+
+def fig8_grid() -> SweepGrid:
+    return sequential_sweep(Op.WRITE, layout=Layout.INDIVIDUAL)
+
+
+def _point(label: str, *, threads: int = 4, size: int = 4096,
+           issuing: int = 0, target: int = 0) -> SweepPoint:
+    spec = StreamSpec(
+        op=Op.READ, threads=threads, access_size=size,
+        issuing_socket=issuing, target_socket=target,
+    )
+    return SweepPoint(label=label, params={"threads": threads}, streams=(spec,))
+
+
+def _assert_identical(serial, parallel) -> None:
+    assert list(serial) == list(parallel)  # same labels, same order
+    for label in serial:
+        assert serial[label].streams == parallel[label].streams
+        assert serial[label].counters == parallel[label].counters
+        assert serial[label].directory_after == parallel[label].directory_after
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("grid", [fig3_grid(), fig8_grid()],
+                             ids=["fig03-read", "fig08-write"])
+    def test_process_bit_identical_to_serial_cold(self, grid):
+        serial = SweepRunner(EvaluationService(memoize=False), backend="serial").run(grid)
+        process = SweepRunner(
+            EvaluationService(memoize=False), jobs=4, backend="process"
+        ).run(grid)
+        _assert_identical(serial, process)
+
+    def test_process_bit_identical_through_shared_disk_cache(self, tmp_path):
+        grid = fig3_grid()
+        serial = SweepRunner(EvaluationService(memoize=False), backend="serial").run(grid)
+        cold_service = EvaluationService(disk_cache=DiskCache(tmp_path))
+        cold = SweepRunner(cold_service, jobs=2, backend="process").run(grid)
+        # Second pool over the same directory: workers hit the disk
+        # entries the first pool's workers wrote.
+        warm_service = EvaluationService(disk_cache=DiskCache(tmp_path))
+        warm = SweepRunner(warm_service, jobs=2, backend="process").run(grid)
+        _assert_identical(serial, cold)
+        _assert_identical(serial, warm)
+        assert warm_service.stats.disk_hits > 0  # folded back from workers
+
+    @given(
+        threads=st.lists(
+            st.sampled_from([1, 4, 8, 18, 36]), min_size=2, max_size=4, unique=True
+        ),
+        size=st.sampled_from([256, 4096, 65536]),
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_process_merge_deterministic_property(self, threads, size):
+        points = tuple(
+            _point(f"{t}T", threads=t, size=size, target=t % 2) for t in threads
+        )
+        grid = SweepGrid(name="prop", points=points)
+        serial = SweepRunner(EvaluationService(memoize=False), backend="serial").run(grid)
+        process = SweepRunner(
+            EvaluationService(memoize=False), jobs=3, backend="process"
+        ).run(grid)
+        _assert_identical(serial, process)
+
+    def test_chunking_covers_every_point_in_order(self):
+        points = [_point(f"p{i}") for i in range(11)]
+        chunks = _chunked(points, jobs=3)
+        flattened = [point for chunk in chunks for point in chunk]
+        assert flattened == points
+        assert all(chunk for chunk in chunks)
+
+
+class TestErrorPropagation:
+    def test_poisoned_point_names_grid_and_label(self):
+        grid = SweepGrid(
+            name="poisoned",
+            points=(_point("ok"), _point("bad", issuing=7), _point("ok2")),
+        )
+        with pytest.raises(SweepError, match="'poisoned'.*'bad'") as excinfo:
+            SweepRunner(EvaluationService(), jobs=2, backend="process").run(grid)
+        # Pickling drops __cause__, so the original error's text must
+        # already be embedded in the message.
+        assert "no such socket: 7" in str(excinfo.value)
+
+    def test_unpicklable_point_surfaces_chained_error(self):
+        poisoned = SweepPoint(
+            label="unpicklable",
+            params={"fn": lambda: None},
+            streams=_point("x").streams,
+        )
+        grid = SweepGrid(name="ship-fail", points=(_point("ok"), poisoned))
+        with pytest.raises(SweepError, match="'ship-fail'.*worker process") as excinfo:
+            SweepRunner(EvaluationService(), jobs=2, backend="process").run(grid)
+        assert excinfo.value.__cause__ is not None
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown sweep backend"):
+            SweepRunner(EvaluationService(), backend="greenlet")
+
+    def test_serial_backend_ignores_jobs(self):
+        grid = SweepGrid(name="tiny", points=(_point("a"), _point("b")))
+        results = SweepRunner(
+            EvaluationService(), jobs=8, backend="serial"
+        ).run(grid)
+        assert list(results) == ["a", "b"]
+
+
+class TestRecorderMerge:
+    def test_every_point_accounted_in_parent_recorder(self):
+        grid = fig3_grid()
+        recorder = CountersRecorder()
+        SweepRunner(
+            EvaluationService(memoize=False), jobs=2, backend="process",
+            recorder=recorder,
+        ).run(grid)
+        snapshot = recorder.snapshot()
+        assert snapshot["counters"]["sweep.points_count"] == len(grid)
+        wall = snapshot["histograms"]["sweep.point.wall_seconds"]
+        assert wall["count"] == len(grid)
+        assert wall["min"] > 0
+        # Worker evaluations report through the merged snapshots too.
+        assert snapshot["counters"]["sweep.cache.misses_count"] == len(grid)
+
+    def test_disabled_recorder_ships_no_snapshots(self):
+        grid = SweepGrid(
+            name="quiet",
+            points=(
+                _point("a", threads=1),
+                _point("b", threads=4),
+                _point("c", threads=8),
+            ),
+        )
+        service = EvaluationService(memoize=False)
+        results = SweepRunner(service, jobs=2, backend="process").run(grid)
+        assert list(results) == ["a", "b", "c"]
+        assert service.stats.misses == len(grid)  # stats still folded
+
+    def test_worker_stats_fold_into_parent_service(self):
+        grid = fig3_grid()
+        service = EvaluationService(memoize=False)
+        SweepRunner(service, jobs=2, backend="process").run(grid)
+        assert service.stats.misses == len(grid)
+        assert service.stats.hits == 0

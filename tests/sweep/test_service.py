@@ -140,3 +140,54 @@ class TestDefaultService:
 
         with pytest.raises(ConfigurationError):
             SweepRunner(jobs=0)
+
+    def test_lazy_init_is_race_free(self):
+        import threading
+
+        from repro.sweep import service as service_module
+
+        previous = set_default_service(None)
+        barrier = threading.Barrier(8)
+        seen: list[EvaluationService] = []
+        lock = threading.Lock()
+
+        def grab() -> None:
+            barrier.wait()  # line every thread up on the first call
+            instance = default_service()
+            with lock:
+                seen.append(instance)
+
+        try:
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            set_default_service(previous)
+        assert len(seen) == 8
+        assert len({id(instance) for instance in seen}) == 1
+        assert service_module._DEFAULT_SERVICE_LOCK is not None
+
+
+class TestLazyDelivery:
+    def test_annotating_a_hit_cannot_corrupt_the_stored_entry(self):
+        service = EvaluationService()
+        config = paper_config()
+        first = service.evaluate(config, (NEAR_READ,))
+        first.counters.notes.append("annotated by caller one")
+        first.counters.media_bytes_read += 999
+        second = service.evaluate(config, (NEAR_READ,))
+        assert service.stats.hits == 1
+        assert "annotated by caller one" not in second.counters.notes
+        assert second.counters.media_bytes_read != first.counters.media_bytes_read
+
+    def test_copy_of_unmaterialized_copy_stays_pristine(self):
+        service = EvaluationService()
+        config = paper_config()
+        baseline = service.evaluate(config, (NEAR_READ,))
+        hit = service.evaluate(config, (NEAR_READ,))
+        dup = hit.copy()  # neither copy has materialized counters yet
+        hit.counters.notes.append("scribble")
+        assert dup.counters.notes == baseline.counters.notes
+        assert "scribble" not in dup.counters.notes
