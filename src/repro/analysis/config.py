@@ -57,6 +57,10 @@ class SimlintConfig:
     #: every analyzed file (the deterministic core is ``memsim`` + ``ssb``,
     #: but fixtures and small projects want the rules everywhere).
     determinism_paths: tuple[str, ...] = ()
+    #: Path fragments the vectorization rule is confined to; empty means
+    #: every analyzed file (the kernel modules here, where a scalar
+    #: element-wise loop defeats the point of the batched fast paths).
+    vector_paths: tuple[str, ...] = ()
     #: Exception names allowed outside the ``repro.errors`` taxonomy.
     allowed_raises: tuple[str, ...] = DEFAULT_ALLOWED_RAISES
     #: Baseline file of grandfathered findings, relative to ``root``.
@@ -80,6 +84,12 @@ class SimlintConfig:
             return True
         return any(fragment in relpath for fragment in self.determinism_paths)
 
+    def in_vector_scope(self, relpath: str) -> bool:
+        """Whether the vectorization rule applies to ``relpath``."""
+        if not self.vector_paths:
+            return True
+        return any(fragment in relpath for fragment in self.vector_paths)
+
     def is_excluded(self, relpath: str) -> bool:
         """Whether ``relpath`` is excluded from analysis entirely."""
         return any(fragment in relpath for fragment in self.exclude)
@@ -90,6 +100,7 @@ _LIST_KEYS = {
     "exclude",
     "unit_literal_files",
     "determinism_paths",
+    "vector_paths",
     "allowed_raises",
     "disable",
 }

@@ -11,4 +11,5 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     obs,
     purity,
     units,
+    vectorization,
 )

@@ -1,0 +1,170 @@
+"""Vectorization rule.
+
+The batched kernels in :mod:`repro.memsim.kernels` exist to replace
+per-element Python with NumPy array expressions; a scalar loop creeping
+back into those modules silently erodes the speedup the vector backend
+promises. One rule guards the hot paths, confined to the configured
+``vector-paths`` (the kernels and the DES engines here):
+
+* **SIM106 scalar-loop-over-array** — an element-wise Python loop where
+  an array expression would do: a ``for`` iterating a NumPy array (or
+  ``range(len(arr))`` over one, or a ``np.*`` call result), a ``while``
+  whose condition indexes into an array, and ``list.pop(0)`` inside a
+  loop body (O(n) per removal — ``collections.deque.popleft()`` is O(1);
+  the engine's retirement queue regression in
+  ``tests/memsim/test_engine_retirement.py`` pins the fix).
+
+Array-ness is inferred locally and conservatively: a name counts as a
+NumPy array only when the module assigns it from a ``np.*``/``numpy.*``
+call. Loops the kernels legitimately need (per-stream setup, fixed-point
+iteration over epochs) iterate plain Python structures and never match;
+a reasoned exception belongs in the simlint baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+SCALAR_LOOP = Rule(
+    code="SIM106",
+    name="scalar-loop-over-array",
+    summary="element-wise Python loop over a NumPy array in a kernel path",
+)
+
+#: Heads recognised as the NumPy module in dotted call targets.
+_NP_HEADS = ("np", "numpy")
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` call targets; ``None`` for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_numpy_call(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    dotted = _dotted(node.func)
+    return dotted is not None and dotted.split(".")[0] in _NP_HEADS
+
+
+def _array_names(module: ast.Module) -> frozenset[str]:
+    """Names assigned from a ``np.*`` call anywhere in the module."""
+    names: set[str] = set()
+    for node in ast.walk(module):
+        value: ast.expr | None
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        if value is None or not _is_numpy_call(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _is_range_len_of(node: ast.expr, arrays: frozenset[str]) -> bool:
+    """``range(len(arr))`` where ``arr`` is a tracked array name."""
+    if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+        return False
+    if node.func.id != "range" or len(node.args) != 1:
+        return False
+    inner = node.args[0]
+    return (
+        isinstance(inner, ast.Call)
+        and isinstance(inner.func, ast.Name)
+        and inner.func.id == "len"
+        and len(inner.args) == 1
+        and isinstance(inner.args[0], ast.Name)
+        and inner.args[0].id in arrays
+    )
+
+
+def _subscripted_arrays(node: ast.expr, arrays: frozenset[str]) -> Iterator[str]:
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id in arrays
+        ):
+            yield sub.value.id
+
+
+def _pop_zero_calls(body: list[ast.stmt]) -> Iterator[ast.Call]:
+    """``something.pop(0)`` calls anywhere under ``body``."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "pop"
+                and len(node.args) == 1
+                and not node.keywords
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == 0
+            ):
+                yield node
+
+
+@register(SCALAR_LOOP)
+def check_scalar_loop(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.config.in_vector_scope(ctx.relpath):
+        return
+    arrays = _array_names(module)
+    seen_pops: set[ast.Call] = set()
+    for node in ast.walk(module):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            if isinstance(it, ast.Name) and it.id in arrays:
+                yield ctx.finding(
+                    SCALAR_LOOP, node,
+                    f"loop iterates NumPy array '{it.id}' element-wise; "
+                    "replace the loop body with an array expression",
+                )
+            elif _is_range_len_of(it, arrays):
+                name = it.args[0].args[0].id  # type: ignore[attr-defined]
+                yield ctx.finding(
+                    SCALAR_LOOP, node,
+                    f"loop indexes NumPy array '{name}' element-wise via "
+                    "range(len(...)); replace with an array expression",
+                )
+            elif _is_numpy_call(it):
+                yield ctx.finding(
+                    SCALAR_LOOP, node,
+                    "loop iterates a NumPy call result element-wise; "
+                    "replace the loop body with an array expression",
+                )
+        elif isinstance(node, ast.While):
+            for name in _subscripted_arrays(node.test, arrays):
+                yield ctx.finding(
+                    SCALAR_LOOP, node,
+                    f"while-loop steps through NumPy array '{name}' one "
+                    "element per iteration; replace with an array expression",
+                )
+                break
+        else:
+            continue
+        for call in _pop_zero_calls(node.body + getattr(node, "orelse", [])):
+            if call in seen_pops:
+                continue
+            seen_pops.add(call)
+            yield ctx.finding(
+                SCALAR_LOOP, call,
+                "'.pop(0)' inside a loop shifts the whole list each "
+                "iteration (O(n^2) drain); use collections.deque.popleft()",
+            )

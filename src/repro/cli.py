@@ -66,11 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                      help="evaluate sweep points on N workers (default 1; "
                           "results are bit-identical to serial runs)")
-    run.add_argument("--backend", choices=("serial", "thread", "process"),
+    run.add_argument("--backend", choices=("serial", "thread", "process", "vector"),
                      default="thread",
                      help="sweep worker pool: 'thread' (default) shares the "
                           "memo cache, 'process' scales cold grids across "
-                          "cores, 'serial' forces inline evaluation")
+                          "cores, 'serial' forces inline evaluation, "
+                          "'vector' batches eligible points through the "
+                          "NumPy kernels (bit-identical to serial)")
     run.add_argument("--cache-dir", metavar="PATH", default=None,
                      help="persist evaluation results under PATH and reuse "
                           "them across runs")
@@ -157,7 +159,7 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                        help="worker count recorded in the snapshot and "
                             "exported to parameterised benches")
-    bench.add_argument("--backend", choices=("serial", "thread", "process"),
+    bench.add_argument("--backend", choices=("serial", "thread", "process", "vector"),
                        default="thread",
                        help="sweep backend recorded in the snapshot and "
                             "exported to parameterised benches")

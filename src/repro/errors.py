@@ -46,6 +46,23 @@ class SweepError(SimulationError):
     """
 
 
+class GridPointError(SweepError):
+    """One point of a batched grid evaluation failed.
+
+    Batched evaluation (``EvaluationService.evaluate_grid``) loses the
+    caller's per-point framing, so the service reports *which* input
+    index failed; the sweep backends map the index back to a point label
+    for their :class:`SweepError` message.
+    """
+
+    def __init__(self, index: int, original: Exception) -> None:
+        super().__init__(f"grid point {index} failed: {original}")
+        #: Index into the ``points`` sequence passed to ``evaluate_grid``.
+        self.index = index
+        #: The exception the point's evaluation raised.
+        self.original = original
+
+
 class SchemaError(ReproError):
     """A benchmark table schema was violated (bad column, wrong dtype)."""
 

@@ -296,8 +296,11 @@ class DiscreteEventEngine:
         if config.pattern is Pattern.RANDOM and config.op is Op.READ:
             issue_gap += self.calibration.pmem.random_read_latency
 
-        # Per-thread outstanding op completion times (reads only).
-        outstanding: list[list[float]] = [[] for _ in range(config.threads)]
+        # Per-thread outstanding op completion times (reads only). FIFO
+        # by issue order: deques retire from the front in O(1) where a
+        # list's pop(0) would shift the whole tail (O(n) per retirement,
+        # O(n^2) over a run at high MLP budgets).
+        outstanding: list[deque[float]] = [deque() for _ in range(config.threads)]
         jitter_rng = np.random.default_rng(config.seed)
         phases = jitter_rng.uniform(0.0, config.phase_spread, size=config.threads)
         heap: list[tuple[float, int, int]] = [
@@ -325,11 +328,11 @@ class DiscreteEventEngine:
                 # depth) is exhausted.
                 pending = outstanding[tid]
                 while pending and pending[0] <= now:
-                    pending.pop(0)
+                    pending.popleft()
                 if len(pending) >= config.effective_read_mlp:
                     now = pending[0]
                     while pending and pending[0] <= now:
-                        pending.pop(0)
+                        pending.popleft()
 
             # Split the op across the stripes it covers.
             completion = now
@@ -532,7 +535,7 @@ def simulate_mixed(
     # Thread ids: readers first, writers after; writers' addresses are
     # offset so both sides stripe over the same DIMMs with disjoint data.
     write_offset = TIB
-    outstanding: list[list[float]] = [[] for _ in range(config.read_threads)]
+    outstanding: list[deque[float]] = [deque() for _ in range(config.read_threads)]
     heap: list[tuple[float, int, int]] = [
         (float(phases[tid]), tid, tid) for tid in range(total_threads)
     ]
@@ -558,11 +561,11 @@ def simulate_mixed(
         if is_reader:
             pending = outstanding[local_tid]
             while pending and pending[0] <= now:
-                pending.pop(0)
+                pending.popleft()
             if len(pending) >= config.effective_read_mlp:
                 now = pending[0]
                 while pending and pending[0] <= now:
-                    pending.pop(0)
+                    pending.popleft()
 
         completion = now
         offset = address

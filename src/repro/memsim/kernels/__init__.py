@@ -1,0 +1,37 @@
+"""Vectorized evaluation kernels: batched sweeps over the pure core.
+
+Two kernels, two contracts:
+
+* :func:`evaluate_grid` (:mod:`repro.memsim.kernels.analytic`) — a
+  structure-of-arrays batched analytic evaluator. One
+  :class:`~repro.memsim.context.EvalContext` is shared across a whole
+  sweep axis and every float is produced by the *same IEEE-754 operation
+  in the same order* as per-point
+  :func:`repro.memsim.evaluation.evaluate`, so results are **bit
+  identical** — the sweep service can mix cached per-point results with
+  batched computes freely.
+* :func:`run_epochs` (:mod:`repro.memsim.kernels.epoch`) — an
+  epoch-stepped fast path for the discrete-event engine. It trades the
+  per-op ``heapq`` loop for batched array steps and is validated against
+  the scalar engine within the crosscheck tolerance band; the scalar
+  engine in :mod:`repro.memsim.engine.simulator` remains the oracle.
+"""
+
+from __future__ import annotations
+
+from repro.memsim.kernels.analytic import (
+    evaluate_batch,
+    evaluate_batch_deferred,
+    evaluate_grid,
+    vector_eligible,
+)
+from repro.memsim.kernels.epoch import EpochEngine, run_epochs
+
+__all__ = [
+    "EpochEngine",
+    "evaluate_batch",
+    "evaluate_batch_deferred",
+    "evaluate_grid",
+    "run_epochs",
+    "vector_eligible",
+]

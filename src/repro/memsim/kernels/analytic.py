@@ -1,0 +1,520 @@
+"""Batched analytic evaluation: one NumPy pass over a whole sweep axis.
+
+The per-point evaluator (:func:`repro.memsim.evaluation.evaluate`) costs
+tens of microseconds per call, almost all of it Python interpretation of
+the same short arithmetic chain. A sweep evaluates hundreds of points
+against one shared :class:`~repro.memsim.context.EvalContext`, so this
+module lays the points out structure-of-arrays — one array per stream
+attribute — and runs the chain once over the batch.
+
+**Bit-identity contract.** Every elementwise float64 add, subtract,
+multiply, divide, minimum and maximum is correctly rounded under
+IEEE-754, so applying the *same operations in the same order* across an
+array produces bit-identical floats to the scalar chain. Two things
+would break that and are therefore kept scalar:
+
+* ``**`` — ``np.power`` routes through a different libm path than
+  CPython's ``float.__pow__`` and differs in the last ulp for some
+  inputs. All power terms (write-combining pressure, the sub-kilobyte
+  and super-4K write-cap factors) are computed per *unique* operand with
+  Python ``**`` — for the combining term by calling the same
+  :class:`~repro.memsim.buffers.WriteCombiningModel` method the scalar
+  evaluator calls — and scattered into the arrays.
+* branches — selected with boolean masks (``np.where``) between
+  sub-expressions that each mirror one scalar branch exactly.
+
+**Eligibility.** The fast path covers the shape that dominates the
+paper's sweeps: a single near sequential stream, pinned, on devdax PMEM
+or on DRAM. Such points take no note-producing branches and leave the
+directory untouched. Everything else — multi-stream interaction, random
+patterns, far placement, unpinned scheduling, fsdax — falls back to the
+scalar evaluator per point, which is trivially bit-identical and keeps
+this module free of rarely-exercised vector branches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.memsim import evaluation
+from repro.memsim.address import DaxMode
+from repro.memsim.config import DirectoryState
+from repro.memsim.constants import INTERLEAVE_SIZE, OPTANE_LINE
+from repro.memsim.context import EvalContext
+from repro.memsim.counters import PerfCounters
+from repro.memsim.evaluation import BandwidthResult, StreamResult
+from repro.memsim.scheduler import PinningPolicy
+from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
+from repro.memsim.topology import MediaKind
+from repro.units import GB
+
+if TYPE_CHECKING:
+    from typing import Callable
+
+    from repro.memsim.config import MachineConfig
+    from repro.obs import Recorder
+
+__all__ = [
+    "evaluate_batch",
+    "evaluate_batch_deferred",
+    "evaluate_grid",
+    "vector_eligible",
+]
+
+#: Issue contribution of a hyperthread sibling; mirrors
+#: :attr:`repro.memsim.scheduler.ThreadPlacement.effective_issue_threads`
+#: (the scalar↔vector property tests pin the two together).
+_HT_YIELD = 0.25
+
+
+def vector_eligible(ctx: EvalContext, streams: tuple[StreamSpec, ...]) -> bool:
+    """Whether ``streams`` is evaluable on the batched fast path.
+
+    Deliberately raises nothing: points that would make the scalar
+    evaluator raise (unknown socket, no DIMMs of the requested media)
+    are reported ineligible so the fallback surfaces the same error.
+    """
+    if len(streams) != 1:
+        return False
+    spec = streams[0]
+    if spec.pattern is not Pattern.SEQUENTIAL:
+        return False
+    if spec.issuing_socket != spec.target_socket or spec.pinning is PinningPolicy.NONE:
+        return False
+    if spec.issuing_socket not in ctx.socket_ids:
+        return False
+    if spec.media is MediaKind.PMEM:
+        if spec.dax_mode is not DaxMode.DEVDAX:
+            return False
+        if ctx.interleave_maps[(spec.target_socket, spec.media)] is None:
+            return False
+        return True
+    return spec.media is MediaKind.DRAM
+
+
+def evaluate_batch(
+    ctx: EvalContext,
+    specs: Sequence[StreamSpec],
+    directory: DirectoryState,
+    *,
+    recorder: "Recorder | None" = None,
+) -> list[BandwidthResult]:
+    """Evaluate eligible single-stream points in one structure-of-arrays pass.
+
+    Every ``(spec,)`` must satisfy :func:`vector_eligible`; callers that
+    cannot guarantee that should use :func:`evaluate_grid` instead.
+    Results are bit-identical to per-point
+    :func:`repro.memsim.evaluation.evaluate` with the same arguments.
+    """
+    if not specs:
+        return []
+    results, out = _evaluate_columns(ctx, specs, directory)
+    if recorder is not None and recorder.enabled:
+        for i, result in enumerate(results):
+            _emit_point(
+                recorder, ctx.config, specs[i], result, out.write_amp[i], directory
+            )
+    return results
+
+
+def evaluate_batch_deferred(
+    ctx: EvalContext,
+    specs: Sequence[StreamSpec],
+    directory: DirectoryState,
+) -> "tuple[list[BandwidthResult], Callable[[Recorder, int], None]]":
+    """:func:`evaluate_batch` with observability emission left to the caller.
+
+    Returns the results plus ``emit(recorder, i)``, which replays point
+    ``i``'s evaluation probes. Grid evaluators use this to interleave
+    batched-point emissions with scalar fallback evaluations *in point
+    order*: float addition is order-sensitive at the last ulp, so
+    recorder counters must accumulate in exactly the per-point order.
+    """
+    if not specs:
+        return [], lambda recorder, i: None
+    results, out = _evaluate_columns(ctx, specs, directory)
+
+    def emit(recorder: "Recorder", i: int) -> None:
+        _emit_point(
+            recorder, ctx.config, specs[i], results[i], out.write_amp[i], directory
+        )
+
+    return results, emit
+
+
+def _evaluate_columns(
+    ctx: EvalContext,
+    specs: Sequence[StreamSpec],
+    directory: DirectoryState,
+) -> "tuple[list[BandwidthResult], _Columns]":
+    """The batch pass itself: results plus the intermediate columns."""
+    cal = ctx.config.calibration
+    parts = ctx.components
+    prefetcher = parts.prefetcher
+    wc = parts.write_combining
+
+    n = len(specs)
+    # Rows are accumulated as one tuple per point and transposed with
+    # ``zip(*rows)`` — one append per point plus a C-level transpose beats
+    # both per-element ndarray stores and parallel per-column appends,
+    # and this loop is the batch's Python-side cost floor.
+    rows: list[tuple] = []
+    push = rows.append
+    # Scalar companions (``wc_eff``/``cap_pow``) are computed per unique
+    # operand with the exact code the per-point evaluator runs (`**` is
+    # not vectorizable bit-identically).
+    eff_memo: dict[tuple[int, int], float] = {}
+    pow_memo: dict[int, float] = {}
+    core_count = ctx.physical_core_count
+    pmem_maps = {
+        socket: ctx.interleave_maps[(socket, MediaKind.PMEM)]
+        for socket in ctx.socket_ids
+    }
+
+    for spec in specs:
+        spec_threads = spec.threads
+        spec_size = spec.access_size
+        read = spec.op is Op.READ
+        pmem = spec.media is MediaKind.PMEM
+        if pmem:
+            interleave = pmem_maps[spec.target_socket]
+            way_count = interleave.ways
+            granularity = interleave.granularity
+            if read:
+                eff = factor = 1.0
+            else:
+                key = (spec_threads, spec_size)
+                eff = eff_memo.get(key)
+                if eff is None:
+                    eff = wc.efficiency(spec_threads, spec_size)
+                    eff_memo[key] = eff
+                factor = pow_memo.get(spec_size)
+                if factor is None:
+                    factor = _write_cap_size_factor(spec_size)
+                    pow_memo[spec_size] = factor
+        else:
+            way_count = granularity = 1
+            eff = factor = 1.0
+        push((
+            spec_threads,
+            spec_size,
+            float(spec.total_bytes),
+            core_count[spec.issuing_socket],
+            way_count,
+            granularity,
+            read,
+            pmem,
+            spec.layout is Layout.GROUPED,
+            spec.pinning is PinningPolicy.NUMA_REGION,
+            eff,
+            factor,
+        ))
+
+    (
+        threads_c, size_c, volume_c, physical_c, ways_c, gran_c,
+        read_c, pmem_c, grouped_c, numa_c, wc_eff_c, cap_pow_c,
+    ) = zip(*rows)
+    threads = np.array(threads_c, dtype=np.int64)
+    size = np.array(size_c, dtype=np.int64)
+    volume = np.array(volume_c, dtype=np.float64)
+    physical = np.array(physical_c, dtype=np.int64)
+    ways = np.array(ways_c, dtype=np.int64)
+    gran = np.array(gran_c, dtype=np.int64)
+    is_read = np.array(read_c, dtype=bool)
+    is_pmem = np.array(pmem_c, dtype=bool)
+    grouped = np.array(grouped_c, dtype=bool)
+    numa = np.array(numa_c, dtype=bool)
+    wc_eff = np.array(wc_eff_c, dtype=np.float64)
+    cap_pow = np.array(cap_pow_c, dtype=np.float64)
+
+    threads_f = threads.astype(np.float64)
+    ways_f = ways.astype(np.float64)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # --- per-thread issue rate (_per_thread_rate / _issue_bandwidth)
+        overhead = np.where(
+            is_pmem,
+            np.where(is_read, cal.pmem.read_op_overhead, cal.pmem.write_op_overhead),
+            np.where(is_read, cal.dram.read_op_overhead, cal.dram.write_op_overhead),
+        )
+        stream_rate = np.where(
+            is_pmem,
+            np.where(is_read, cal.pmem.read_stream_rate, cal.pmem.write_stream_rate),
+            np.where(is_read, cal.dram.read_stream_rate, cal.dram.write_stream_rate),
+        )
+        per_op_seconds = overhead + size / (stream_rate * GB)
+        per_thread = size / per_op_seconds / GB
+        effective_issue = (
+            np.minimum(threads, physical) + np.maximum(0, threads - physical) * _HT_YIELD
+        )
+        issue = np.where(is_read, effective_issue, threads_f) * per_thread
+
+        # --- grouped-sequential prefetcher dip (grouped_sequential_factor).
+        # The dip window is defined against INTERLEAVE_SIZE for every
+        # media kind, independent of any per-socket map granularity.
+        if prefetcher.enabled:
+            gsf = np.where(
+                (size >= 1024) & (size < INTERLEAVE_SIZE),
+                prefetcher.cpu.prefetch_dip_factor,
+                1.0,
+            )
+        else:
+            gsf = np.ones(n, dtype=np.float64)
+
+        # --- read media cap (_sequential_read_media_cap)
+        per_dimm_read = cal.pmem.seq_read_max / ways
+        window = threads * size
+        grouped_parallelism = np.minimum(ways_f, 1.0 + window / gran)
+        read_cap_grouped = (per_dimm_read * grouped_parallelism) * gsf
+        read_cap_individual = per_dimm_read * np.minimum(ways, 2 * threads)
+        read_cap_dram = np.where(grouped, cal.dram.seq_read_max * gsf, cal.dram.seq_read_max)
+        read_cap = np.where(
+            is_pmem,
+            np.where(grouped, read_cap_grouped, read_cap_individual),
+            read_cap_dram,
+        )
+
+        # --- write media cap (_sequential_write_media_cap)
+        per_dimm_write = cal.pmem.seq_write_max / ways
+        write_parallelism = np.where(
+            grouped,
+            np.minimum(ways_f, 2.0 + window / gran),
+            np.minimum(ways, 2 * threads).astype(np.float64),
+        )
+        small_factor = np.where(
+            grouped & (size < OPTANE_LINE),
+            np.maximum(0.45, size / OPTANE_LINE),
+            1.0,
+        )
+        write_cap_pmem = ((per_dimm_write * write_parallelism) * wc_eff) * small_factor
+        write_cap_pmem = write_cap_pmem * cap_pow
+        write_cap = np.where(is_pmem, write_cap_pmem, cal.dram.seq_write_max)
+        write_amp = 1.0 / wc_eff
+        write_amp = np.where(
+            grouped & (size < OPTANE_LINE),
+            write_amp * (OPTANE_LINE / size),
+            write_amp,
+        )
+        write_amp = np.where(is_pmem & ~is_read, write_amp, 1.0)
+
+        # --- compose (_solo_sequential)
+        media_cap = np.where(is_read, read_cap, write_cap)
+        solo_gbps = np.minimum(issue, media_cap)
+        if prefetcher.enabled:
+            shared = np.minimum(1.0, (threads - physical) / physical)
+            thread_factor = np.where(
+                threads <= physical,
+                1.0,
+                1.0 - prefetcher.cpu.ht_imbalance_penalty * (4.0 * shared * (1.0 - shared)),
+            )
+        else:
+            thread_factor = np.where(
+                threads < 8, prefetcher.cpu.no_prefetch_low_thread_factor, 1.0
+            )
+        thread_factor = np.where(is_read, thread_factor, 1.0)
+        pinned = np.where(
+            numa & (threads > physical), parts.scheduler.cpu.numa_pinning_overhead, 1.0
+        ) * np.where(numa & ~is_read, parts.scheduler.cpu.numa_pinning_write_overhead, 1.0)
+        gbps = (solo_gbps * pinned) * thread_factor
+
+        # --- counters (_collect_counters)
+        occupancy_service = np.maximum(media_cap, 1e-9)  # simlint: ignore[unit-literal] -- epsilon guard, not a unit
+        rho = np.minimum(issue / occupancy_service, 1.0)
+        queue = rho + rho * rho / (2.0 * (1.0 - rho))
+        occupancy = np.where(rho >= 1.0, 1.0, np.minimum(1.0, queue / (1.0 + queue)))
+        media_read = np.where(is_read, volume, np.where(
+            is_pmem & (write_amp > 1.0), volume * (write_amp - 1.0), 0.0
+        ))
+        media_written = np.where(is_read, 0.0, volume * write_amp)
+
+    out = _Columns(
+        gbps=gbps.tolist(),
+        solo_gbps=solo_gbps.tolist(),
+        write_amp=write_amp.tolist(),
+        volume=volume.tolist(),
+        media_read=media_read.tolist(),
+        media_written=media_written.tolist(),
+        occupancy=occupancy.tolist(),
+    )
+    return _materialize(ctx, specs, directory, out), out
+
+
+def _emit_point(
+    recorder: "Recorder",
+    config: "MachineConfig",
+    spec: StreamSpec,
+    result: BandwidthResult,
+    write_amp: float,
+    directory: DirectoryState,
+) -> None:
+    """Replay the scalar evaluator's probes for one batched point.
+
+    Eligible points are never far, so the directory is unchanged and the
+    sequential read amplification is identically 1.0 (buffers.py §3.1).
+    """
+    from repro.obs import probes
+
+    stream = result.streams[0]
+    probes.emit_evaluation(
+        recorder,
+        config,
+        [(spec, stream.gbps, 1.0, write_amp)],
+        result._counters,
+        directory,
+        directory,
+    )
+
+
+class _Columns:
+    """Plain-float columns extracted from the batch arrays."""
+
+    __slots__ = (
+        "gbps", "solo_gbps", "write_amp", "volume",
+        "media_read", "media_written", "occupancy",
+    )
+
+    def __init__(self, **columns: list[float]) -> None:
+        for name, values in columns.items():
+            setattr(self, name, values)
+
+
+def _write_cap_size_factor(access_size: int) -> float:
+    """The sub-kilobyte / super-4K write-cap factor, with Python ``**``.
+
+    Mirrors the two power branches of
+    ``_Evaluator._sequential_write_media_cap`` exactly; computed per
+    unique access size because ``np.power`` is not bit-identical to
+    CPython's ``**``.
+    """
+    if access_size < 1024:
+        return (access_size / 1024.0) ** 0.08
+    if access_size > 4096:
+        return (4096.0 / access_size) ** 0.02
+    return 1.0
+
+
+def _materialize(
+    ctx: EvalContext,
+    specs: Sequence[StreamSpec],
+    directory: DirectoryState,
+    out: _Columns,
+) -> list[BandwidthResult]:
+    """Build per-point results from the batch columns."""
+    results: list[BandwidthResult] = []
+    append = results.append
+    counters_cls = PerfCounters
+    stream_cls = StreamResult
+    result_cls = BandwidthResult
+    new = object.__new__
+    rebind = object.__setattr__
+    rows = zip(
+        specs, out.gbps, out.solo_gbps,
+        out.volume, out.media_read, out.media_written, out.occupancy,
+    )
+    # The three result objects are built via ``__new__`` plus direct
+    # ``__dict__``/slot stores — the same fast path
+    # :meth:`BandwidthResult.copy` uses — because the dataclass inits are
+    # the dominant cost of materializing a large batch. Counter fields
+    # left at their simple defaults resolve through the class attributes
+    # the dataclass machinery installs, so only ``notes`` (a
+    # ``default_factory`` field) must be stored per instance.
+    for spec, gbps, solo_gbps, vol, media_read, media_written, occ in rows:
+        read = spec.op is Op.READ
+        counters = new(counters_cls)
+        counters.__dict__ = {
+            "app_bytes_read": vol if read else 0.0,
+            "app_bytes_written": 0.0 if read else vol,
+            "media_bytes_read": media_read,
+            "media_bytes_written": media_written,
+            "rpq_occupancy": occ if read else 0.0,
+            "wpq_occupancy": 0.0 if read else occ,
+            "notes": [],
+        }
+        # ``StreamResult`` is frozen, which blocks plain ``__dict__``
+        # rebinding; ``object.__setattr__`` bypasses the frozen guard the
+        # same way the dataclass-generated ``__init__`` itself does.
+        stream = new(stream_cls)
+        rebind(stream, "__dict__", {
+            "spec": spec, "gbps": gbps, "solo_gbps": solo_gbps, "notes": (),
+        })
+        result = new(result_cls)
+        result.streams = (stream,)
+        result._counters = counters
+        result._counters_source = None
+        result.directory_after = directory
+        append(result)
+    return results
+
+
+def evaluate_grid(
+    context: EvalContext,
+    points: Sequence[tuple[StreamSpec, ...] | list[StreamSpec]],
+    directory: DirectoryState | None = None,
+    *,
+    recorder: "Recorder | None" = None,
+) -> list[BandwidthResult]:
+    """Evaluate a whole sweep axis against one shared context.
+
+    Eligible points (:func:`vector_eligible`) run through the batched
+    structure-of-arrays kernel; the rest fall back to per-point
+    :func:`repro.memsim.evaluation.evaluate`. Either way every result is
+    bit-identical to the per-point call, in ``points`` order. A point the
+    scalar evaluator would reject raises the same error here, from the
+    fallback path.
+    """
+    state = directory if directory is not None else DirectoryState.cold()
+    normalized_points = [
+        streams if type(streams) is tuple else tuple(streams) for streams in points
+    ]
+    results: list[BandwidthResult | None] = [None] * len(normalized_points)
+    batch_indices: list[int] = []
+    batch_specs: list[StreamSpec] = []
+    socket_ids = context.socket_ids
+    pmem_available = {
+        socket: context.interleave_maps[(socket, MediaKind.PMEM)] is not None
+        for socket in socket_ids
+    }
+    config = context.config
+    for i, streams in enumerate(normalized_points):
+        # Inlined :func:`vector_eligible` with the context lookups hoisted
+        # out of the loop; the scalar<->vector property tests pin the two
+        # to each other.
+        eligible = False
+        if len(streams) == 1:
+            spec = streams[0]
+            if (
+                spec.pattern is Pattern.SEQUENTIAL
+                and spec.issuing_socket == spec.target_socket
+                and spec.pinning is not PinningPolicy.NONE
+                and spec.issuing_socket in socket_ids
+            ):
+                if spec.media is MediaKind.PMEM:
+                    eligible = (
+                        spec.dax_mode is DaxMode.DEVDAX
+                        and pmem_available[spec.target_socket]
+                    )
+                else:
+                    eligible = spec.media is MediaKind.DRAM
+        if eligible:
+            batch_indices.append(i)
+            batch_specs.append(streams[0])
+    batch_results, emit = evaluate_batch_deferred(context, batch_specs, state)
+    # Fallback points are evaluated — and batched points emitted — in
+    # ``points`` order: the per-point path accumulates recorder counters
+    # point by point, and float addition is order-sensitive at the last
+    # ulp, so matching its emission order is part of bit-identity.
+    emitting = recorder is not None and recorder.enabled
+    pos = 0
+    for i, streams in enumerate(normalized_points):
+        if pos < len(batch_indices) and batch_indices[pos] == i:
+            if emitting:
+                emit(recorder, pos)
+            results[i] = batch_results[pos]
+            pos += 1
+        else:
+            results[i] = evaluation.evaluate(
+                config, streams, state, recorder=recorder, context=context
+            )
+    return results  # type: ignore[return-value]

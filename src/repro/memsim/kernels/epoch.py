@@ -1,0 +1,482 @@
+"""Epoch-stepped fast path for the discrete-event engine.
+
+The scalar engine (:mod:`repro.memsim.engine.simulator`) replays one op
+at a time through a ``heapq`` — exact, but O(ops log threads) Python
+work. This module replays the *same trace through the same component
+models* in batched epochs:
+
+* per-thread op addresses and unthrottled issue times are precomputed as
+  arrays (phases + ``k * issue_gap`` + accumulated jitter);
+* each epoch slices a block of ops per thread, splits them into stripe
+  fragments with ``np.repeat`` (masked fragment splitting), and resolves
+  every DIMM's FIFO queue with a vectorized scan: for arrival times
+  ``a`` and service times ``s`` sorted by arrival,
+  ``end = cumsum(s) + max(accumulate_max(a - (cumsum(s) - s)), free_at)``
+  — the closed form of ``end_i = max(a_i, end_{i-1}, free_at) + s_i``;
+* the per-DIMM ``free_at`` scalar carries queue state between epochs,
+  and per-thread issue *lag* carries the read-MLP stall / write-queue
+  backpressure feedback at epoch granularity.
+
+Mechanisms that the scalar engine resolves per op are approximated per
+epoch (line-buffer residency, write-combining stream sensing, the exact
+interleaving of stalls), so results are **not** bit-identical: the
+contract is agreement with the scalar engine within the cross-check
+tolerance band (:mod:`repro.memsim.crosscheck`), and the scalar engine
+remains the reference oracle.
+
+Known divergences
+-----------------
+
+Sub-line reads at extreme thread counts (36 threads of 64 B reads) sit
+at the edge of the tolerance band: the scalar replay's op-by-op stall
+interleaving gradually *decoheres* line-buffer sharing until every read
+pays full line amplification (~4x media traffic), while the epoch fixed
+point converges to a steady state that keeps partial sharing. Both are
+self-consistent resolutions of the same contention; the anchor tolerance
+for that regime (0.60 relative) absorbs the gap, and the grouped-36T
+anchor passes at ~0.95 of tolerance. All other anchors agree within a
+few percent. When tightening tolerances, revisit the line-buffer
+residency window (:data:`_LINE_BUFFER_CAPACITY`) first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError, WorkloadError
+from repro.memsim.calibration import DeviceCalibration
+from repro.memsim.constants import INTERLEAVE_SIZE, OPTANE_LINE
+from repro.memsim.context import EvalContext
+from repro.memsim.engine.simulator import DiscreteEventEngine, EngineConfig, EngineResult
+from repro.memsim.spec import Layout, Op, Pattern
+from repro.memsim.topology import MediaKind, SystemTopology
+from repro.units import GB, NS
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs import Recorder
+
+#: Scalar-engine constants mirrored here: the channel-speed turnaround of
+#: a read-buffer hit and the WPQ backlog the sfence model tolerates.
+_BUFFER_HIT_SECONDS = 10 * NS
+_WPQ_BACKLOG_SLOTS = 32
+_WPQ_SLOT_BYTES = 64
+#: The scalar engine senses write-stream concurrency from the last 32
+#: ops served per DIMM; an epoch sees a wider window, so the distinct
+#: thread count is mapped through the expected number of distinct values
+#: in 32 uniform draws (the coupon-collector expectation).
+_CONCURRENCY_WINDOW = 32
+#: Per-DIMM read line buffer capacity (mirrors ``_Dimm``): sub-line
+#: reads hit only while their line is still resident, which the epoch
+#: path approximates as a time window — the capacity's worth of lines
+#: served at the full per-DIMM media rate.
+_LINE_BUFFER_CAPACITY = 16
+#: Sub-line read epochs iterate arrivals/completions to a fixed point;
+#: the loop stops once the largest arrival correction is below this
+#: slack (or after this many extra passes).
+_MAX_MLP_PASSES = 8
+_MLP_SLACK = 0.001 * NS  # simlint: ignore[unit-literal] -- convergence slack, not a unit
+
+
+class EpochEngine:
+    """Batched replay of :class:`EngineConfig` traces.
+
+    Construction mirrors :class:`DiscreteEventEngine` — in particular an
+    :class:`~repro.memsim.context.EvalContext` fixes topology,
+    calibration and component models in one bundle — because the fast
+    path must consult the *same* calibrated models as the oracle.
+    """
+
+    def __init__(
+        self,
+        topology: SystemTopology | None = None,
+        calibration: DeviceCalibration | None = None,
+        *,
+        write_combining_enabled: bool = True,
+        context: EvalContext | None = None,
+    ) -> None:
+        self._oracle = DiscreteEventEngine(
+            topology,
+            calibration,
+            write_combining_enabled=write_combining_enabled,
+            context=context,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _addresses(self, config: EngineConfig, ops_per_thread: int) -> np.ndarray:
+        """The (threads, ops) address grid of the scalar engine's trace."""
+        threads = config.threads
+        size = config.access_size
+        k = np.arange(ops_per_thread, dtype=np.int64)[None, :]
+        t = np.arange(threads, dtype=np.int64)[:, None]
+        if config.pattern is Pattern.RANDOM:
+            region = config.region_bytes or config.total_bytes
+            if region < size:
+                raise WorkloadError("region smaller than one access")
+            addresses = np.empty((threads, ops_per_thread), dtype=np.int64)
+            for tid in range(threads):
+                rng = np.random.default_rng((config.seed, tid))
+                draws = rng.integers(0, region - size, size=ops_per_thread)
+                addresses[tid] = draws - draws % 64
+            return addresses
+        if config.layout is Layout.GROUPED:
+            return (k * threads + t) * size
+        slice_bytes = ops_per_thread * size
+        return t * slice_bytes + k * size
+
+    def _miss_lines(
+        self, config: EngineConfig, addresses: np.ndarray
+    ) -> np.ndarray | None:
+        """Per-op count of 256 B media lines the read buffer cannot serve.
+
+        Sequential streams share their first line with the predecessor op
+        of the same stream (the thread for individual layout, the global
+        group order for grouped layout); random ops miss every line. The
+        scalar engine resolves this dynamically through each DIMM's LRU
+        line buffer — at typical thread counts the active lines fit the
+        16-line capacity, so predecessor sharing is the dominant effect.
+        The exception is grouped *sub-line* reads, where the sharing
+        threads arrive spread out in time and the line is often evicted
+        in between (the §3.1 penalty); that case returns ``None`` and is
+        resolved per epoch from the actual arrival times.
+        """
+        if config.media is not MediaKind.PMEM or config.op is not Op.READ:
+            return None
+        if (
+            config.pattern is Pattern.SEQUENTIAL
+            and config.access_size < OPTANE_LINE
+        ):
+            return None
+        size = config.access_size
+        first = addresses // OPTANE_LINE
+        last = (addresses + size - 1) // OPTANE_LINE
+        lines = last - first + 1
+        if config.pattern is Pattern.RANDOM:
+            return lines
+        shared = np.zeros_like(lines)
+        if config.layout is Layout.GROUPED:
+            threads = addresses.shape[0]
+            k = np.arange(addresses.shape[1], dtype=np.int64)[None, :]
+            t = np.arange(threads, dtype=np.int64)[:, None]
+            order = k * threads + t
+            predecessor_last = (order * size - 1) // OPTANE_LINE
+            shared = ((order > 0) & (first == predecessor_last)).astype(np.int64)
+        else:
+            shared[:, 1:] = (first[:, 1:] == last[:, :-1]).astype(np.int64)
+        return lines - shared
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, config: EngineConfig, *, recorder: "Recorder | None" = None
+    ) -> EngineResult:
+        """Replay the configured trace in batched epochs."""
+        engine = self._oracle
+        ways = engine._ways(config.media)
+        per_dimm_rate, op_overhead, stream_rate = engine._rates(config)
+        granularity = INTERLEAVE_SIZE
+        threads = config.threads
+        size = config.access_size
+        ops_per_thread = (config.total_bytes // size) // threads
+        if ops_per_thread < 1:
+            raise SimulationError("trace produced no operations")
+
+        issue_gap = op_overhead + size / (stream_rate * GB)
+        if config.pattern is Pattern.RANDOM and config.op is Op.READ:
+            issue_gap += engine.calibration.pmem.random_read_latency
+
+        addresses = self._addresses(config, ops_per_thread)
+        miss_lines = self._miss_lines(config, addresses)
+
+        rng = np.random.default_rng(config.seed)
+        phases = rng.uniform(0.0, config.phase_spread, size=threads)
+        k = np.arange(ops_per_thread, dtype=np.float64)[None, :]
+        base = phases[:, None] + k * issue_gap
+        if config.issue_jitter > 0:
+            drift = np.cumsum(
+                rng.exponential(config.issue_jitter, size=(threads, ops_per_thread)),
+                axis=1,
+            )
+            base[:, 1:] += drift[:, :-1]
+
+        is_write = config.op is Op.WRITE
+        grouped_small = (
+            config.layout is Layout.GROUPED and size < OPTANE_LINE
+        )
+        timed_line_model = (
+            config.media is MediaKind.PMEM
+            and config.op is Op.READ
+            and config.pattern is Pattern.SEQUENTIAL
+            and size < OPTANE_LINE
+        )
+        read_buffered = miss_lines is not None or timed_line_model
+        residency = _LINE_BUFFER_CAPACITY * OPTANE_LINE / (per_dimm_rate * GB)
+        mlp_budget = config.effective_read_mlp
+        backlog_allowance = (
+            _WPQ_BACKLOG_SLOTS * _WPQ_SLOT_BYTES / (per_dimm_rate * GB)
+        )
+
+        free_at = np.zeros(ways)
+        lag = np.zeros(threads)
+        completion_history = np.zeros((threads, mlp_budget))
+        bytes_served = [0] * ways
+        media_served = [0.0] * ways
+        buffer_bytes = [0] * ways
+        buffer_hits = [0] * ways
+        buffer_misses = [0] * ways
+        wc_hits = [0] * ways
+        wc_misses = [0] * ways
+        efficiency_memo: dict[int, float] = {}
+        media_total = 0.0
+        end_time = 0.0
+
+        # The scalar engine senses stream concurrency over a 32-*fragment*
+        # window, and a multi-stripe op appends all its fragments on one
+        # DIMM back to back — so large ops shrink the window to very few
+        # distinct threads. Rescale the draw count by the fragments one
+        # op contributes per DIMM.
+        stripes_per_op = (size - 1) // granularity + 1
+        frags_per_dimm = max(1, -(-stripes_per_op // ways))
+        sense_draws = max(1, round(_CONCURRENCY_WINDOW / frags_per_dimm))
+        # Sub-line reads retire in order against a deep MLP budget, so a
+        # thread's issue pace is gated by miss round-trips *within* an
+        # epoch; those epochs are resolved twice — once unthrottled, then
+        # again with arrivals clamped to the retirement window.
+        mlp_correct = (
+            config.media is MediaKind.PMEM
+            and config.op is Op.READ
+            and config.pattern is Pattern.SEQUENTIAL
+            and size < OPTANE_LINE
+        )
+
+        epoch = max(1, min(ops_per_thread, max(8, 4096 // threads)))
+        if mlp_correct:
+            # The retirement constraint propagates one MLP window per
+            # pass, so the fixed-point loop only converges if an epoch
+            # spans a small number of windows.
+            epoch = max(8, min(epoch, 2 * mlp_budget))
+        start = 0
+        while start < ops_per_thread:
+            stop = min(ops_per_thread, start + epoch)
+            span = stop - start
+            arrivals = base[:, start:stop] + lag[:, None]
+            block_addr = addresses[:, start:stop]
+
+            # Masked fragment split: one row per (op, stripe) pair.
+            first_stripe = block_addr // granularity
+            frag_counts = (
+                (block_addr + size - 1) // granularity - first_stripe + 1
+            ).ravel()
+            op_index = np.repeat(np.arange(threads * span), frag_counts)
+            frag_rank = np.arange(frag_counts.sum()) - np.repeat(
+                np.cumsum(frag_counts) - frag_counts, frag_counts
+            )
+            stripe_base = (first_stripe.ravel()[op_index] + frag_rank) * granularity
+            op_addr = block_addr.ravel()[op_index]
+            frag_start = np.maximum(op_addr, stripe_base)
+            frag_end = np.minimum(op_addr + size, stripe_base + granularity)
+            frag_chunk = frag_end - frag_start
+            frag_dimm = (frag_start // granularity) % ways
+            frag_tid = op_index // span
+            frag_lines = (frag_end - 1) // OPTANE_LINE - frag_start // OPTANE_LINE + 1
+
+            # Arrival-independent media costs (everything but the timed
+            # line model, which must see the pass's arrival times).
+            dimm_efficiency = None
+            if timed_line_model:
+                static_media = None
+            elif miss_lines is not None:
+                # Charge each op's buffer-shared first line to its first
+                # fragment (stripe boundaries are line-aligned, so every
+                # other fragment starts on a fresh line).
+                op_shared = (
+                    (block_addr + size - 1) // OPTANE_LINE
+                    - block_addr // OPTANE_LINE
+                    + 1
+                    - miss_lines[:, start:stop]
+                ).ravel()[op_index]
+                frag_miss = frag_lines - np.where(frag_rank == 0, op_shared, 0)
+                static_media = frag_miss * float(OPTANE_LINE)
+            elif config.media is MediaKind.PMEM and is_write:
+                static_media = np.empty(frag_chunk.shape[0])
+                dimm_efficiency = np.empty(ways)
+                for d in range(ways):
+                    on_dimm = frag_dimm == d
+                    distinct = int(np.unique(frag_tid[on_dimm]).shape[0])
+                    if distinct == 0:
+                        dimm_efficiency[d] = 1.0
+                        continue
+                    sensed = max(
+                        1,
+                        round(
+                            distinct
+                            * (1.0 - (1.0 - 1.0 / distinct) ** sense_draws)
+                        ),
+                    )
+                    eff = efficiency_memo.get(sensed)
+                    if eff is None:
+                        eff = engine.write_combining.efficiency(sensed, size)
+                        if grouped_small:
+                            eff *= engine.write_combining.grouped_small_write_factor(
+                                size
+                            )
+                        efficiency_memo[sensed] = eff
+                    dimm_efficiency[d] = eff
+                    static_media[on_dimm] = frag_chunk[on_dimm] / eff
+            else:
+                static_media = frag_chunk.astype(np.float64)
+
+            line_id = op_addr // OPTANE_LINE
+
+            def resolve(block_arrivals: np.ndarray):
+                """Media, queue drain, and op completions for one pass."""
+                frag_arrival = block_arrivals.ravel()[op_index]
+                if timed_line_model:
+                    # Grouped sub-line reads: the LRU refreshes a line on
+                    # every touch, so an arrival hits only if the gap
+                    # since the line's *previous* touch is within the
+                    # residency window; a longer gap means eviction and
+                    # a fresh media fetch.
+                    by_line = np.lexsort((frag_arrival, line_id))
+                    sorted_arrival = frag_arrival[by_line]
+                    first_of_line = np.ones(by_line.shape[0], dtype=bool)
+                    first_of_line[1:] = line_id[by_line][1:] != line_id[by_line][:-1]
+                    gap = np.empty_like(sorted_arrival)
+                    gap[0] = 0.0
+                    gap[1:] = sorted_arrival[1:] - sorted_arrival[:-1]
+                    missed = first_of_line | (gap > residency)
+                    frag_miss_timed = np.empty(by_line.shape[0], dtype=np.int64)
+                    frag_miss_timed[by_line] = missed * frag_lines[by_line]
+                    frag_media = frag_miss_timed * float(OPTANE_LINE)
+                else:
+                    frag_media = static_media
+                service = np.maximum(frag_media, 0.15 * frag_chunk) / (
+                    per_dimm_rate * GB
+                )
+                frag_done = frag_arrival + _BUFFER_HIT_SECONDS
+                queued = frag_media > 0.0
+                free_local = free_at.copy()
+                for d in range(ways):
+                    indices = np.flatnonzero((frag_dimm == d) & queued)
+                    if indices.shape[0] == 0:
+                        continue
+                    order = indices[
+                        np.argsort(frag_arrival[indices], kind="stable")
+                    ]
+                    ordered_service = service[order]
+                    busy = np.cumsum(ordered_service)
+                    start_bound = frag_arrival[order] - (busy - ordered_service)
+                    floor = np.maximum.accumulate(start_bound)
+                    done = busy + np.maximum(floor, free_local[d])
+                    frag_done[order] = done
+                    free_local[d] = done[-1]
+                completion = block_arrivals.ravel().copy()
+                np.maximum.at(completion, op_index, frag_done)
+                return (
+                    frag_media,
+                    queued,
+                    completion.reshape(threads, span),
+                    free_local,
+                )
+
+            unconstrained = arrivals
+            frag_media, queued, completion, free_next = resolve(arrivals)
+            passes = 0
+            while mlp_correct and passes < _MAX_MLP_PASSES:
+                window = np.maximum.accumulate(
+                    np.concatenate([completion_history, completion], axis=1),
+                    axis=1,
+                )
+                # In-order retirement: op ``e`` cannot issue before every
+                # op up to ``e - budget`` has completed. Column ``j`` of
+                # the window is op ``start - budget + j``, so op
+                # ``start + e`` reads column ``e``. A stall is an
+                # *additive* shift — the woken thread resumes issuing at
+                # its normal spacing — so the correction is a monotone
+                # per-thread lift over the unconstrained schedule, not a
+                # clamp to the completion times themselves.
+                lift = np.maximum.accumulate(
+                    np.maximum(window[:, :span] - unconstrained, 0.0), axis=1
+                )
+                constrained = unconstrained + lift
+                if not bool(np.any(constrained > arrivals + _MLP_SLACK)):
+                    break
+                arrivals = constrained
+                frag_media, queued, completion, free_next = resolve(arrivals)
+                passes += 1
+            free_at = free_next
+
+            for d in range(ways):
+                on_dimm = frag_dimm == d
+                bytes_served[d] += int(frag_chunk[on_dimm].sum())
+                media_served[d] += float(frag_media[on_dimm].sum())
+                if read_buffered:
+                    misses_here = int(
+                        round(float(frag_media[on_dimm].sum()) / OPTANE_LINE)
+                    )
+                    buffer_misses[d] += misses_here
+                    buffer_hits[d] += int(frag_lines[on_dimm].sum()) - misses_here
+                    buffer_bytes[d] += int(frag_chunk[on_dimm & ~queued].sum())
+                if dimm_efficiency is not None:
+                    count = int(np.count_nonzero(on_dimm))
+                    if dimm_efficiency[d] >= 1.0:
+                        wc_hits[d] += count
+                    else:
+                        wc_misses[d] += count
+
+            media_total += float(frag_media.sum())
+            end_time = max(end_time, float(completion.max()))
+
+            if stop < ops_per_thread:
+                if is_write:
+                    required = (
+                        completion[:, -1] - backlog_allowance + op_overhead
+                    )
+                else:
+                    window = np.maximum.accumulate(
+                        np.concatenate([completion_history, completion], axis=1),
+                        axis=1,
+                    )
+                    required = window[:, span]
+                    completion_history = window[:, -mlp_budget:]
+                lag = np.maximum(lag, required - base[:, stop])
+            start = stop
+
+        bytes_moved = threads * ops_per_thread * size
+        if recorder is not None and recorder.enabled:
+            from repro.obs import probes
+
+            probes.emit_engine(
+                recorder,
+                [
+                    (
+                        bytes_served[d],
+                        bytes_served[d] - buffer_bytes[d],
+                        buffer_bytes[d],
+                        buffer_hits[d],
+                        buffer_misses[d],
+                        wc_hits[d],
+                        wc_misses[d],
+                    )
+                    for d in range(ways)
+                ],
+                threads * ops_per_thread,
+                bytes_moved,
+                media_total,
+            )
+        return EngineResult(
+            seconds=end_time,
+            bytes_moved=bytes_moved,
+            per_dimm_bytes=bytes_served,
+            media_bytes=media_total,
+        )
+
+
+def run_epochs(
+    config: EngineConfig,
+    recorder: "Recorder | None" = None,
+    **engine_kwargs: object,
+) -> EngineResult:
+    """One-shot convenience wrapper around :class:`EpochEngine`."""
+    return EpochEngine(**engine_kwargs).run(config, recorder=recorder)

@@ -18,6 +18,7 @@ from repro.sweep.cache import CacheStats, DiskCache, MemoCache
 from repro.sweep.runner import BACKENDS, SweepRunner
 from repro.sweep.service import (
     EvaluationService,
+    GridPointError,
     default_service,
     set_default_service,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "CacheStats",
     "DiskCache",
     "EvaluationService",
+    "GridPointError",
     "MemoCache",
     "SweepRunner",
     "default_service",

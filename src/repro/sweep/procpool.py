@@ -55,7 +55,7 @@ from repro.obs import (
     set_default_recorder,
 )
 from repro.sweep.cache import DiskCache
-from repro.sweep.service import EvaluationService
+from repro.sweep.service import EvaluationService, GridPointError
 from repro.workloads.grids import SweepGrid, SweepPoint
 
 #: Target chunks per worker. More chunks balance load better when some
@@ -76,6 +76,7 @@ class _WorkerState:
     grid_name: str
     service: EvaluationService
     observing: bool
+    vector: bool
 
 
 def _init_worker(
@@ -84,6 +85,7 @@ def _init_worker(
     grid_name: str,
     cache_root: str | None,
     observing: bool,
+    vector: bool,
 ) -> None:
     """Pool initializer: build this worker's service and pin the inputs."""
     global _WORKER
@@ -97,6 +99,7 @@ def _init_worker(
         grid_name=grid_name,
         service=EvaluationService(disk_cache=disk),
         observing=observing,
+        vector=vector,
     )
 
 
@@ -116,6 +119,33 @@ def _run_chunk(
     stats = worker.service.stats
     hits0, misses0, disk0 = stats.hits, stats.misses, stats.disk_hits
     results: list[tuple[str, BandwidthResult]] = []
+    if worker.vector:
+        started = time.perf_counter() if rec is not None else 0.0
+        try:
+            outcomes = worker.service.evaluate_grid(
+                worker.config,
+                [point.streams for point in points],
+                worker.directory,
+                recorder=sink,
+            )
+        except GridPointError as exc:
+            # Chains do not survive pickling back to the parent (see the
+            # scalar loop below); embed the original error's text.
+            point = points[exc.index]
+            raise SweepError(
+                f"sweep {worker.grid_name!r} point {point.label!r} failed: "
+                f"{exc.original}"
+            ) from exc
+        if rec is not None:
+            rec.incr("sweep.points_count", len(points))
+            mean = (time.perf_counter() - started) / len(points)
+            for _ in points:
+                rec.observe("sweep.point.wall_seconds", mean)
+        results.extend(
+            (point.label, result) for point, result in zip(points, outcomes)
+        )
+        delta = (stats.hits - hits0, stats.misses - misses0, stats.disk_hits - disk0)
+        return results, (rec.snapshot() if rec is not None else None), delta
     for point in points:
         started = time.perf_counter() if rec is not None else 0.0
         try:
@@ -156,13 +186,17 @@ def run_grid(
     jobs: int,
     service: EvaluationService,
     recorder: Recorder,
+    vector: bool = False,
 ) -> dict[str, BandwidthResult]:
     """Evaluate ``points`` across a process pool; ``{label: result}``.
 
     The returned dict is in grid order and bit-identical to the serial
     path. Worker counters and cache statistics are folded into
     ``recorder`` and ``service.stats`` so observability reflects the
-    whole sweep, not just the parent process.
+    whole sweep, not just the parent process. With ``vector=True`` each
+    worker evaluates its chunk through the service's batched kernel
+    (:meth:`~repro.sweep.service.EvaluationService.evaluate_grid`)
+    instead of point-at-a-time.
     """
     observing = recorder.enabled
     disk = service.disk_cache
@@ -171,7 +205,7 @@ def run_grid(
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
-        initargs=(config, directory, grid.name, cache_root, observing),
+        initargs=(config, directory, grid.name, cache_root, observing, vector),
     ) as pool:
         futures = [pool.submit(_run_chunk, chunk) for chunk in _chunked(points, jobs)]
         try:

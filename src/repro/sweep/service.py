@@ -20,7 +20,9 @@ full input state still determines the returned
 from __future__ import annotations
 
 import threading
+from typing import Sequence
 
+from repro.errors import GridPointError
 from repro.memsim import evaluation
 from repro.memsim.config import DirectoryState, MachineConfig
 from repro.memsim.evaluation import BandwidthResult, observable_pairs
@@ -124,6 +126,132 @@ class EvaluationService:
         if self._disk is not None and digest is not None:
             self._disk.put(digest, result)
         return self._deliver(result, streams, state)
+
+    def evaluate_grid(
+        self,
+        config: MachineConfig,
+        points: Sequence[tuple[StreamSpec, ...] | list[StreamSpec]],
+        directory: DirectoryState | None = None,
+        *,
+        recorder: Recorder | None = None,
+    ) -> list[BandwidthResult]:
+        """Cached, batched equivalent of calling :meth:`evaluate` per point.
+
+        Points that the vectorized analytic kernel covers
+        (:func:`repro.memsim.kernels.vector_eligible`) and that miss both
+        caches are computed in one structure-of-arrays pass
+        (:func:`repro.memsim.kernels.evaluate_batch`); every other point
+        goes through :meth:`evaluate` unchanged. Results are returned in
+        ``points`` order and are **bit-identical** to the per-point path —
+        cache keys, stored entries, and hit/miss tallies included, so a
+        grid primed through this method services per-point calls (and vice
+        versa) without recomputation.
+
+        A failing point raises :class:`GridPointError` carrying the input
+        index, so callers can name the poisoned point. If the batch kernel
+        itself fails, the batched points are transparently re-run through
+        the scalar path — the error (if it reproduces) is then attributed
+        to the exact point that raised it.
+        """
+        # Imported lazily (and not at module top) to keep NumPy off the
+        # import path of callers that never batch.
+        from repro.memsim.context import eval_context
+        from repro.memsim.kernels import evaluate_batch_deferred, vector_eligible
+
+        rec = recorder if recorder is not None else default_recorder()
+        state = directory if directory is not None else DirectoryState.cold()
+        normalized_points = [tuple(streams) for streams in points]
+        results: list[BandwidthResult | None] = [None] * len(normalized_points)
+        try:
+            ctx = eval_context(config)
+        except Exception as exc:
+            # A config the core rejects fails every point; blame the first.
+            raise GridPointError(0, exc) from exc
+
+        # Eligible points can only observe the empty far-read pair set, so
+        # they all share one normalized directory (hence one key suffix).
+        empty = state.restrict(frozenset())
+        batch_indices: list[int] = []
+        batch_specs: list[StreamSpec] = []
+        batch_keys: list[tuple[MachineConfig, tuple[StreamSpec, ...], DirectoryState]] = []
+        batch_digests: list[str | None] = []
+        for i, streams in enumerate(normalized_points):
+            if not vector_eligible(ctx, streams):
+                continue
+            key = (config, streams, empty)
+            cached = self._memo.get(key) if self._memo is not None else None
+            if cached is not None:
+                self.stats.hits += 1
+                if rec.enabled:
+                    rec.incr("sweep.cache.hits_count")
+                    rec.event("sweep.cache_hit", source="memo", streams=len(streams))
+                results[i] = self._deliver(cached, streams, state)
+                continue
+            digest: str | None = None
+            if self._disk is not None:
+                digest = request_digest(config, streams, empty)
+                from_disk = self._disk.get(digest)
+                if from_disk is not None:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    if rec.enabled:
+                        rec.incr("sweep.cache.hits_count")
+                        rec.incr("sweep.cache.disk_hits_count")
+                        rec.event("sweep.cache_hit", source="disk", streams=len(streams))
+                    if self._memo is not None:
+                        self._memo.put(key, from_disk)
+                    results[i] = self._deliver(from_disk, streams, state)
+                    continue
+            batch_indices.append(i)
+            batch_specs.append(streams[0])
+            batch_keys.append(key)
+            batch_digests.append(digest)
+
+        computed: list[BandwidthResult] | None = None
+        emit = None
+        if batch_specs:
+            try:
+                computed, emit = evaluate_batch_deferred(ctx, batch_specs, empty)
+            except Exception:
+                # The batch kernel failed wholesale. The loop below
+                # re-runs the misses through the scalar path, which
+                # attributes the error to the exact point — and completes
+                # the sweep if the failure was batch-only. Nothing was
+                # tallied yet, so the scalar calls' own hit/miss
+                # accounting stays exact.
+                computed = None
+        if computed is not None:
+            self.stats.misses += len(batch_specs)
+            if rec.enabled:
+                rec.incr("sweep.cache.misses_count", len(batch_specs))
+
+        # Batched points are stored/emitted — and fallback points
+        # evaluated — in ``points`` order: float addition is
+        # order-sensitive at the last ulp, so recorder counters must
+        # accumulate exactly as the per-point path would.
+        pos = 0
+        for i, streams in enumerate(normalized_points):
+            if results[i] is not None:
+                continue  # cache hit, already delivered
+            if pos < len(batch_indices) and batch_indices[pos] == i:
+                key, digest = batch_keys[pos], batch_digests[pos]
+                if computed is not None:
+                    result = computed[pos]
+                    if rec.enabled and emit is not None:
+                        emit(rec, pos)
+                    if self._memo is not None:
+                        self._memo.put(key, result)
+                    if self._disk is not None and digest is not None:
+                        self._disk.put(digest, result)
+                    results[i] = self._deliver(result, streams, state)
+                    pos += 1
+                    continue
+                pos += 1  # batch failed: fall through to the scalar path
+            try:
+                results[i] = self.evaluate(config, streams, state, recorder=rec)
+            except Exception as exc:
+                raise GridPointError(i, exc) from exc
+        return results  # type: ignore[return-value]
 
     @staticmethod
     def _deliver(

@@ -1,0 +1,33 @@
+"""Fixture: scalar loops over NumPy arrays (SIM106)."""
+
+import numpy as np
+
+values = np.zeros(16)
+
+total = 0.0
+for v in values:  # SIM106: element-wise iteration
+    total += v
+
+for i in range(len(values)):  # SIM106: index loop over an array
+    total += values[i]
+
+for x in np.arange(4.0):  # SIM106: loop over a NumPy call result
+    total += x
+
+j = 0
+while values[j] < 3.0:  # SIM106: while stepping through an array
+    j += 1
+
+queue = [1, 2, 3]
+while queue:
+    queue.pop(0)  # SIM106: O(n^2) drain
+
+# Not flagged: plain Python iteration, pop(0) outside a loop,
+# pop() without an index, and comprehension-free array expressions.
+plain = [1.0, 2.0, 3.0]
+for p in plain:
+    total += p
+rest = [4, 5]
+rest.pop(0)
+rest.pop()
+total += float(values.sum())

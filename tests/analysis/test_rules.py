@@ -204,6 +204,48 @@ class TestHoistingRules:
         assert findings == []
 
 
+class TestVectorizationRules:
+    def test_scalar_loop_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_vectorization.py")
+        bad = [f for f in findings if f.rule == "SIM106"]
+        # array iteration, range(len(...)), np-call result, while
+        # subscript, pop(0) in a loop
+        assert {f.line for f in bad} == {8, 11, 14, 18, 23}
+
+    def test_messages_name_the_array_and_the_fix(self):
+        findings, _ = run_fixture("bad_vectorization.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM106")
+        assert "'values'" in messages
+        assert "array expression" in messages
+        assert "deque.popleft" in messages
+
+    def test_plain_python_loops_not_flagged(self):
+        findings, _ = run_fixture("bad_vectorization.py")
+        assert all(f.line <= 23 for f in findings if f.rule == "SIM106")
+
+    def test_out_of_scope_paths_not_flagged(self, tmp_path):
+        scoped = SimlintConfig(
+            root=tmp_path, vector_paths=("repro/memsim/kernels",)
+        )
+        source = (
+            "import numpy as np\n"
+            "a = np.zeros(4)\n"
+            "s = 0.0\n"
+            "for v in a:\n"
+            "    s += v\n"
+        )
+        outside = tmp_path / "repro" / "experiments"
+        outside.mkdir(parents=True)
+        (outside / "driver.py").write_text(source)
+        findings, _ = analyze_file(outside / "driver.py", scoped)
+        assert findings == []
+        inside = tmp_path / "repro" / "memsim" / "kernels"
+        inside.mkdir(parents=True)
+        (inside / "analytic.py").write_text(source)
+        findings, _ = analyze_file(inside / "analytic.py", scoped)
+        assert [f.rule for f in findings] == ["SIM106"]
+
+
 class TestCleanAndSuppressed:
     def test_clean_fixture_has_no_findings(self):
         findings, suppressed = run_fixture("clean.py")

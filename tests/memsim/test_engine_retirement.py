@@ -1,0 +1,87 @@
+"""Bit-identity regression for the in-order-retirement data structure.
+
+The per-thread ``outstanding`` completion lists retire from the front.
+They were ``list``s using ``pop(0)`` — O(n) per retirement, O(n^2) over a
+run once the MLP budget grows (sub-line reads get ``640 // size + 2``
+outstanding ops). Switching to ``collections.deque.popleft()`` is a pure
+data-structure change: the values pushed, the comparisons made, and the
+retirement order are untouched, so every engine output must stay
+bit-identical. The hex-float goldens below were captured from the
+``list.pop(0)`` implementation immediately before the switch.
+"""
+
+from repro.memsim.engine.simulator import (
+    EngineConfig,
+    MixedEngineConfig,
+    simulate,
+    simulate_mixed,
+)
+from repro.memsim.spec import Layout, Op, Pattern
+from repro.units import MIB
+
+#: ``float.hex()`` of seconds/media_bytes from the pre-deque engine.
+GOLDEN_RUNS = {
+    "read_ind_4k_18t": (
+        EngineConfig(op=Op.READ, threads=18, access_size=4096, total_bytes=8 * MIB),
+        {
+            "seconds": "0x1.b553c56c7f49fp-13",
+            "bytes_moved": 8331264,
+            "per_dimm_bytes": [1388544] * 6,
+            "media_bytes": "0x1.fc80000000000p+22",
+        },
+    ),
+    # 64 B reads have the largest MLP budget (640 // 64 + 2 = 12): the
+    # deepest pending deques, i.e. the case the data structure matters for.
+    "read_grp_64b_36t": (
+        EngineConfig(
+            op=Op.READ, threads=36, access_size=64,
+            layout=Layout.GROUPED, total_bytes=2 * MIB,
+        ),
+        {
+            "seconds": "0x1.a8b274585ff22p-13",
+            "bytes_moved": 2096640,
+            "per_dimm_bytes": [352256, 351744, 348160, 348160, 348160, 348160],
+            "media_bytes": "0x1.eb3c000000000p+22",
+        },
+    ),
+    # Writes never touch `outstanding`; they pin the surrounding loop.
+    "write_ind_16k_18t": (
+        EngineConfig(op=Op.WRITE, threads=18, access_size=16384, total_bytes=8 * MIB),
+        {
+            "seconds": "0x1.93cd2ce4afbfbp-10",
+            "bytes_moved": 8257536,
+            "per_dimm_bytes": [1376256] * 6,
+            "media_bytes": "0x1.363aaf0030b4dp+24",
+        },
+    ),
+    "read_rand_64b_8t": (
+        EngineConfig(
+            op=Op.READ, threads=8, access_size=64,
+            pattern=Pattern.RANDOM, total_bytes=1 * MIB,
+        ),
+        {
+            "seconds": "0x1.503b7914ba44ap-10",
+            "bytes_moved": 1048576,
+            "per_dimm_bytes": [180160, 180032, 176192, 171648, 169344, 171200],
+            "media_bytes": "0x1.f408000000000p+21",
+        },
+    ),
+}
+
+
+def test_retirement_swap_is_bit_identical():
+    for name, (config, want) in GOLDEN_RUNS.items():
+        result = simulate(config)
+        assert result.seconds.hex() == want["seconds"], name
+        assert result.bytes_moved == want["bytes_moved"], name
+        assert result.per_dimm_bytes == want["per_dimm_bytes"], name
+        assert result.media_bytes.hex() == want["media_bytes"], name
+
+
+def test_mixed_retirement_swap_is_bit_identical():
+    result = simulate_mixed(
+        MixedEngineConfig(read_threads=8, write_threads=4, bytes_per_side=4 * MIB)
+    )
+    assert result.seconds.hex() == "0x1.04682be2262c5p-12"
+    assert result.read_bytes == 4161536
+    assert result.write_bytes == 847872

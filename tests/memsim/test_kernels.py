@@ -1,0 +1,186 @@
+"""Batched analytic kernels are bit-identical to per-point ``evaluate``.
+
+The vector backend's whole value proposition rests on exact equality:
+``evaluate_grid`` may share setup across points and compute in NumPy
+arrays, but every observable of every result — bandwidth floats, stream
+notes, performance counters, the directory state — must equal the scalar
+evaluator's bit for bit, so cached entries and golden files are
+interchangeable between backends. These property tests draw seeded
+random grids mixing eligible and fallback points and compare everything.
+"""
+
+import dataclasses
+import random
+
+from repro.memsim import (
+    DaxMode,
+    DirectoryState,
+    Layout,
+    MediaKind,
+    Op,
+    Pattern,
+    PinningPolicy,
+    StreamSpec,
+    eval_context,
+    evaluate,
+    paper_config,
+)
+from repro.memsim.kernels import evaluate_batch, evaluate_grid, vector_eligible
+from repro.obs import CountersRecorder
+
+THREADS = (1, 2, 4, 8, 18, 24, 36)
+SIZES = (64, 128, 256, 1024, 4096, 16384)
+
+
+def sample_point(rng: random.Random) -> tuple[StreamSpec, ...]:
+    """One random sweep point; ~1 in 4 lands on a fallback path."""
+    spec = StreamSpec(
+        op=rng.choice((Op.READ, Op.WRITE)),
+        threads=rng.choice(THREADS),
+        access_size=rng.choice(SIZES),
+        media=rng.choice((MediaKind.PMEM, MediaKind.PMEM, MediaKind.DRAM)),
+        layout=rng.choice((Layout.INDIVIDUAL, Layout.GROUPED)),
+    )
+    roll = rng.random()
+    if roll < 0.08:
+        spec = spec.with_(pattern=Pattern.RANDOM)
+    elif roll < 0.16:
+        spec = spec.with_(issuing_socket=0, target_socket=1)
+    elif roll < 0.22:
+        spec = spec.with_(pinning=PinningPolicy.NONE)
+    elif roll < 0.28 and spec.media is MediaKind.PMEM:
+        spec = spec.with_(dax_mode=DaxMode.FSDAX)
+    elif roll < 0.34:
+        other = StreamSpec(
+            op=Op.WRITE if spec.op is Op.READ else Op.READ,
+            threads=rng.choice(THREADS),
+            access_size=rng.choice(SIZES),
+        )
+        return (spec, other)
+    return (spec,)
+
+
+def sample_grid(seed: int, n: int) -> list[tuple[StreamSpec, ...]]:
+    rng = random.Random(seed)
+    return [sample_point(rng) for _ in range(n)]
+
+
+def assert_identical(got, want):
+    """Full bit-identity: floats by hex, counters, notes, directory."""
+    assert got == want
+    assert len(got.streams) == len(want.streams)
+    for g, w in zip(got.streams, want.streams):
+        assert g.gbps.hex() == w.gbps.hex()
+        assert g.solo_gbps.hex() == w.solo_gbps.hex()
+        assert g.notes == w.notes
+    got_counters, want_counters = got.counters, want.counters
+    for field in dataclasses.fields(got_counters):
+        gv = getattr(got_counters, field.name)
+        wv = getattr(want_counters, field.name)
+        if isinstance(gv, float):
+            assert gv.hex() == wv.hex(), field.name
+        else:
+            assert gv == wv, field.name
+    assert got.directory_after == want.directory_after
+
+
+class TestGridBitIdentity:
+    def test_random_grid_matches_scalar_point_by_point(self):
+        config = paper_config()
+        context = eval_context(config)
+        points = sample_grid(seed=20260807, n=96)
+        state = DirectoryState.cold()
+        batched = evaluate_grid(context, points, state)
+        assert len(batched) == len(points)
+        for streams, got in zip(points, batched):
+            want = evaluate(config, streams, state, context=context)
+            assert_identical(got, want)
+
+    def test_grid_mixes_eligible_and_fallback_points(self):
+        # The property above is only meaningful if the sample actually
+        # exercises both the batched kernel and the scalar fallback.
+        context = eval_context(paper_config())
+        points = sample_grid(seed=20260807, n=96)
+        eligible = sum(1 for p in points if vector_eligible(context, p))
+        assert 20 <= eligible <= 90
+        assert eligible < len(points)
+
+    def test_warm_directory_matches_scalar(self):
+        config = paper_config()
+        context = eval_context(config)
+        warm = DirectoryState.warm(config.topology)
+        points = sample_grid(seed=7, n=32)
+        batched = evaluate_grid(context, points, warm)
+        for streams, got in zip(points, batched):
+            assert_identical(got, evaluate(config, streams, warm, context=context))
+
+    def test_results_in_input_order(self):
+        config = paper_config()
+        context = eval_context(config)
+        read = (StreamSpec(op=Op.READ, threads=4),)
+        write = (StreamSpec(op=Op.WRITE, threads=4),)
+        results = evaluate_grid(context, [read, write, read])
+        assert results[0] == results[2]
+        assert results[0].streams[0].spec.op is Op.READ
+        assert results[1].streams[0].spec.op is Op.WRITE
+
+
+class TestBatchKernel:
+    def test_batch_matches_scalar_for_every_eligible_point(self):
+        config = paper_config()
+        context = eval_context(config)
+        state = DirectoryState.cold()
+        points = sample_grid(seed=99, n=96)
+        specs = [p[0] for p in points if vector_eligible(context, p)]
+        assert specs
+        batched = evaluate_batch(context, specs, state)
+        for spec, got in zip(specs, batched):
+            assert_identical(got, evaluate(config, (spec,), state, context=context))
+
+    def test_empty_batch(self):
+        context = eval_context(paper_config())
+        assert evaluate_batch(context, [], DirectoryState.cold()) == []
+        assert evaluate_grid(context, []) == []
+
+
+class TestObservabilityParity:
+    def test_grid_emissions_match_scalar_exactly(self):
+        # Counters fold float increments, so emission *order* matters at
+        # the last ulp: the grid evaluator must emit in point order, not
+        # batch-completion order, for snapshots to be byte-identical.
+        config = paper_config()
+        context = eval_context(config)
+        points = sample_grid(seed=3, n=48)
+        state = DirectoryState.cold()
+        grid_rec, scalar_rec = CountersRecorder(), CountersRecorder()
+        evaluate_grid(context, points, state, recorder=grid_rec)
+        for streams in points:
+            evaluate(config, streams, state, recorder=scalar_rec, context=context)
+        assert grid_rec.snapshot() == scalar_rec.snapshot()
+
+
+class TestEligibility:
+    def test_plain_sequential_points_are_eligible(self):
+        context = eval_context(paper_config())
+        for op in (Op.READ, Op.WRITE):
+            for media in (MediaKind.PMEM, MediaKind.DRAM):
+                spec = StreamSpec(op=op, threads=8, media=media)
+                assert vector_eligible(context, (spec,))
+
+    def test_fallback_shapes_are_ineligible(self):
+        context = eval_context(paper_config())
+        base = StreamSpec(op=Op.READ, threads=8)
+        assert not vector_eligible(context, (base, base))
+        assert not vector_eligible(context, (base.with_(pattern=Pattern.RANDOM),))
+        assert not vector_eligible(context, (base.with_(target_socket=1),))
+        assert not vector_eligible(
+            context, (base.with_(pinning=PinningPolicy.NONE),)
+        )
+        assert not vector_eligible(context, (base.with_(dax_mode=DaxMode.FSDAX),))
+
+    def test_points_the_scalar_evaluator_rejects_are_ineligible(self):
+        # Eligibility must never claim a point the scalar path would
+        # refuse: the fallback is what surfaces the real error.
+        context = eval_context(paper_config())
+        bad = StreamSpec(op=Op.READ, threads=8, target_socket=9, issuing_socket=9)
+        assert not vector_eligible(context, (bad,))
