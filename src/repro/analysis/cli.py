@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import load_config
+from repro.analysis.fix import apply_fixes
 from repro.analysis.registry import all_rules
 from repro.analysis.runner import AnalysisReport, run_analysis
 from repro.errors import AnalysisError
@@ -42,6 +43,16 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="report baselined findings as if new")
     parser.add_argument("--write-baseline", action="store_true",
                         help="accept all current findings into the baseline file")
+    parser.add_argument("--strict-baseline", action="store_true",
+                        help="treat stale baseline entries as an error")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply the mechanical rewrites attached to findings")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="with --fix: print the diff instead of writing files")
+    parser.add_argument("--changed", action="store_true",
+                        help="only report findings in files changed vs git HEAD")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the .simlint-cache summary store")
     parser.add_argument("--list-rules", action="store_true",
                         help="list the registered rules and exit")
     return parser
@@ -69,6 +80,18 @@ def _print_text(report: AnalysisReport, out) -> None:
         )
 
 
+def _run(args, config) -> AnalysisReport:
+    return run_analysis(
+        paths=args.paths or None,
+        config=config,
+        select=_split_rules(args.select),
+        disable=_split_rules(args.disable),
+        use_baseline=not (args.no_baseline or args.write_baseline),
+        use_cache=not args.no_cache,
+        changed_only=args.changed,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the analyzer; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -77,16 +100,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in all_rules():
             print(f"{rule.code}  {rule.name:<18} {rule.summary}")
         return 0
+    if args.dry_run and not args.fix:
+        print("simlint: error: --dry-run only makes sense with --fix",
+              file=sys.stderr)
+        return EXIT_ERROR
 
     try:
         config = load_config(explicit=args.config)
-        report = run_analysis(
-            paths=args.paths or None,
-            config=config,
-            select=_split_rules(args.select),
-            disable=_split_rules(args.disable),
-            use_baseline=not (args.no_baseline or args.write_baseline),
-        )
+        report = _run(args, config)
         if args.write_baseline:
             baseline_path = config.baseline_path()
             if baseline_path is None:
@@ -101,6 +122,28 @@ def main(argv: Sequence[str] | None = None) -> int:
                 file=sys.stderr,
             )
             return 0
+        if args.fix:
+            fix_report = apply_fixes(
+                report.findings, config.root, dry_run=args.dry_run,
+            )
+            if args.dry_run:
+                for result in fix_report.changed_files:
+                    print(result.diff(), end="")
+                print(
+                    f"would fix {fix_report.applied} finding(s) in "
+                    f"{len(fix_report.changed_files)} file(s)",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"fixed {fix_report.applied} finding(s) in "
+                    f"{len(fix_report.changed_files)} file(s)",
+                    file=sys.stderr,
+                )
+                if fix_report.applied:
+                    # Re-analyze so the report (and exit code) describe
+                    # what is still wrong after the rewrites.
+                    report = _run(args, config)
     except AnalysisError as exc:
         print(f"simlint: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
@@ -109,7 +152,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(json.dumps(report.to_json(), indent=2))
     else:
         _print_text(report, sys.stdout)
-    return report.exit_code
+    exit_code = report.exit_code
+    if args.strict_baseline and report.stale_baseline:
+        print(
+            f"simlint: error: {len(report.stale_baseline)} stale baseline "
+            "entry(ies) under --strict-baseline (prune simlint-baseline.json)",
+            file=sys.stderr,
+        )
+        exit_code = max(exit_code, 1)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -36,6 +36,35 @@ DEFAULT_ALLOWED_RAISES: tuple[str, ...] = (
     "ZeroDivisionError",
 )
 
+#: Purity roots for SIM201: fnmatch patterns over fully-qualified function
+#: names. Everything reachable from a root through the call graph must be
+#: free of shared-state writes — this is the contract the memo cache, the
+#: parallel backend, and the bit-identity tests all assume.
+DEFAULT_PURITY_ROOTS: tuple[str, ...] = (
+    "repro.memsim.evaluation.evaluate",
+    "repro.memsim.kernels.*",
+    "repro.memsim.context.EvalContext.*",
+    "repro.memsim.context.eval_context",
+    "repro.memsim.context._build_context",
+)
+
+#: Types that cross the :mod:`repro.sweep.procpool` process boundary
+#: (pickled into workers or back): SIM202 checks them — and every type
+#: reachable through their field annotations — for pickle-hostile state.
+DEFAULT_PICKLE_BOUNDARY: tuple[str, ...] = (
+    "repro.memsim.config.MachineConfig",
+    "repro.memsim.config.DirectoryState",
+    "repro.memsim.evaluation.BandwidthResult",
+    "repro.memsim.evaluation.StreamResult",
+    "repro.workloads.grids.SweepPoint",
+    "repro.errors.SweepError",
+    "repro.errors.GridPointError",
+)
+
+#: Module defining the counter catalogue (``CATALOG`` of specs) that
+#: SIM203 round-trips emitted names against.
+DEFAULT_COUNTER_CATALOG = "repro.obs.catalog"
+
 
 @dataclass(frozen=True)
 class SimlintConfig:
@@ -67,6 +96,12 @@ class SimlintConfig:
     baseline: str | None = None
     #: Rules (codes or names) disabled outright.
     disable: tuple[str, ...] = ()
+    #: SIM201 roots (fnmatch patterns over full function names).
+    purity_roots: tuple[str, ...] = DEFAULT_PURITY_ROOTS
+    #: SIM202 seed types (full class names) crossing the pickle boundary.
+    pickle_boundary: tuple[str, ...] = DEFAULT_PICKLE_BOUNDARY
+    #: SIM203 catalogue module (dotted); empty string disables the pass.
+    counter_catalog: str = DEFAULT_COUNTER_CATALOG
 
     def baseline_path(self) -> Path | None:
         """Absolute path of the configured baseline file, if any."""
@@ -103,7 +138,11 @@ _LIST_KEYS = {
     "vector_paths",
     "allowed_raises",
     "disable",
+    "purity_roots",
+    "pickle_boundary",
 }
+
+_STR_KEYS = {"baseline", "counter_catalog"}
 
 
 def _parse_block(block: dict[str, object], root: Path) -> SimlintConfig:
@@ -124,9 +163,9 @@ def _parse_block(block: dict[str, object], root: Path) -> SimlintConfig:
                     f"[tool.simlint] {raw_key!r} must be a list of strings"
                 )
             updates[key] = tuple(value)
-        elif key == "baseline":
+        elif key in _STR_KEYS:
             if not isinstance(value, str):
-                raise AnalysisError("[tool.simlint] 'baseline' must be a string")
+                raise AnalysisError(f"[tool.simlint] {raw_key!r} must be a string")
             updates[key] = value
     return replace(SimlintConfig(root=root), **updates)
 

@@ -9,7 +9,7 @@ from dataclasses import dataclass, field
 class Rule:
     """Identity of one simlint check.
 
-    ``code`` is the stable machine id (``SIM201``); ``name`` is the short
+    ``code`` is the stable machine id (``SIM107``); ``name`` is the short
     human slug used in suppression comments (``float-equality``). Either
     form is accepted wherever a rule is referenced (``--disable``,
     ``# simlint: ignore[...]``, config lists).
@@ -22,6 +22,26 @@ class Rule:
     def matches(self, ref: str) -> bool:
         """Return whether ``ref`` (a code or a name) refers to this rule."""
         return ref in (self.code, self.name)
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A mechanical, exact-span rewrite that resolves a finding.
+
+    Spans are ``(line, col)`` .. ``(end_line, end_col)`` with 1-based
+    lines and 0-based columns — the AST node convention — and replace
+    exactly the flagged expression, so applying a fix can never touch
+    code the rule did not diagnose. ``adds_import`` optionally names one
+    import statement the replacement relies on; the fixer inserts it
+    only if the module does not already have it.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+    adds_import: str | None = None
 
 
 @dataclass(frozen=True, order=True)
@@ -42,6 +62,9 @@ class Finding:
     name: str = field(compare=False)
     message: str = field(compare=False)
     snippet: str = field(compare=False)
+    #: Mechanical rewrite applied by ``repro lint --fix``, when the rule
+    #: has one. Excluded from ordering and from the baseline key.
+    fix: Fix | None = field(default=None, compare=False)
 
     @property
     def baseline_key(self) -> tuple[str, str, str]:
@@ -69,4 +92,5 @@ class Finding:
             "name": self.name,
             "message": self.message,
             "snippet": self.snippet,
+            "fixable": self.fix is not None,
         }

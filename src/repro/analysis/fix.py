@@ -1,0 +1,189 @@
+"""Apply the mechanical rewrites attached to findings (``repro lint --fix``).
+
+Design constraints, in order:
+
+1. **Exact spans.** A fix replaces precisely the source span of the
+   diagnosed node — never a whole line, never a regex over the file — so
+   applying fixes cannot disturb neighbouring code.
+2. **Idempotence.** Applying fixes to already-fixed output is a no-op by
+   construction: the rewrite removes the pattern the rule matches, so a
+   second lint produces no fixes and therefore no edits. The test suite
+   pins this (fix twice == fix once).
+3. **No overlapping edits.** Two findings can, in pathological input,
+   claim intersecting spans. Edits are applied bottom-up and an edit
+   overlapping an already-applied one is skipped (and counted), leaving
+   the file valid for the next ``--fix`` round to finish the job.
+
+Import insertion: a replacement may declare one required import
+(``from repro import units``). It is added once per file, after the last
+top-level import (or after the module docstring when there are none) —
+and only when no line of the file already is that exact statement.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.finding import Finding, Fix
+
+
+@dataclass
+class FileFixResult:
+    """Outcome of fixing one file."""
+
+    path: str
+    applied: int = 0
+    skipped_overlap: int = 0
+    before: str = ""
+    after: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.before != self.after
+
+    def diff(self) -> str:
+        """Unified diff of the rewrite (empty when nothing changed)."""
+        if not self.changed:
+            return ""
+        return "".join(difflib.unified_diff(
+            self.before.splitlines(keepends=True),
+            self.after.splitlines(keepends=True),
+            fromfile=f"a/{self.path}",
+            tofile=f"b/{self.path}",
+        ))
+
+
+@dataclass
+class FixReport:
+    """Outcome of one ``--fix`` run across all files."""
+
+    files: list[FileFixResult] = field(default_factory=list)
+
+    @property
+    def applied(self) -> int:
+        return sum(f.applied for f in self.files)
+
+    @property
+    def skipped_overlap(self) -> int:
+        return sum(f.skipped_overlap for f in self.files)
+
+    @property
+    def changed_files(self) -> list[FileFixResult]:
+        return [f for f in self.files if f.changed]
+
+
+def _line_offsets(source: str) -> list[int]:
+    """Absolute offset of the start of each (1-based) line."""
+    offsets = [0]
+    for line in source.splitlines(keepends=True):
+        offsets.append(offsets[-1] + len(line))
+    return offsets
+
+
+def _span(fix: Fix, offsets: list[int]) -> tuple[int, int] | None:
+    """Absolute ``(start, end)`` for a fix, or ``None`` if out of range."""
+    if fix.line >= len(offsets) + 1 or fix.end_line >= len(offsets) + 1:
+        return None
+    start = offsets[fix.line - 1] + fix.col
+    end = offsets[fix.end_line - 1] + fix.end_col
+    if start > end:
+        return None
+    return start, end
+
+
+def _insert_import(source: str, statement: str) -> str:
+    """Ensure ``statement`` is a top-level import of ``source``."""
+    if any(line.strip() == statement for line in source.splitlines()):
+        return source
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source
+    insert_after = 0  # line number to insert *after* (0 = top of file)
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            insert_after = max(insert_after, node.end_lineno or node.lineno)
+    if insert_after == 0 and tree.body:
+        first = tree.body[0]
+        if isinstance(first, ast.Expr) and isinstance(
+            first.value, ast.Constant
+        ) and isinstance(first.value.value, str):
+            insert_after = first.end_lineno or first.lineno
+    lines = source.splitlines(keepends=True)
+    if insert_after > len(lines):
+        return source + statement + "\n"
+    # A docstring with no imports gets a separating blank line.
+    prefix = "\n" if insert_after > 0 and not any(
+        isinstance(n, (ast.Import, ast.ImportFrom)) for n in tree.body
+    ) else ""
+    lines.insert(insert_after, f"{prefix}{statement}\n")
+    return "".join(lines)
+
+
+def fix_file(source: str, relpath: str, findings: Sequence[Finding]) -> FileFixResult:
+    """Apply every fix for one file to ``source`` (pure; no IO)."""
+    result = FileFixResult(path=relpath, before=source, after=source)
+    offsets = _line_offsets(source)
+    spans: list[tuple[int, int, Fix]] = []
+    for finding in findings:
+        if finding.fix is None:
+            continue
+        span = _span(finding.fix, offsets)
+        if span is not None:
+            spans.append((*span, finding.fix))
+    # Bottom-up so earlier spans' offsets stay valid; dedupe identical
+    # spans (two rules may attach the same rewrite).
+    spans.sort(key=lambda s: (s[0], s[1]))
+    deduped: list[tuple[int, int, Fix]] = []
+    for span in spans:
+        if deduped and (span[0], span[1]) == (deduped[-1][0], deduped[-1][1]):
+            continue
+        deduped.append(span)
+
+    text = source
+    imports_needed: list[str] = []
+    last_applied_start: int | None = None
+    for start, end, fix in reversed(deduped):
+        if last_applied_start is not None and end > last_applied_start:
+            result.skipped_overlap += 1
+            continue
+        text = text[:start] + fix.replacement + text[end:]
+        last_applied_start = start
+        result.applied += 1
+        if fix.adds_import is not None and fix.adds_import not in imports_needed:
+            imports_needed.append(fix.adds_import)
+    for statement in imports_needed:
+        text = _insert_import(text, statement)
+    result.after = text
+    return result
+
+
+def apply_fixes(
+    findings: Sequence[Finding],
+    root: Path,
+    *,
+    dry_run: bool = False,
+) -> FixReport:
+    """Group findings by file, rewrite each, and (unless ``dry_run``)
+    write the results back."""
+    by_path: dict[str, list[Finding]] = {}
+    for finding in findings:
+        if finding.fix is not None:
+            by_path.setdefault(finding.path, []).append(finding)
+
+    report = FixReport()
+    for relpath in sorted(by_path):
+        path = root / relpath
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        result = fix_file(source, relpath, by_path[relpath])
+        report.files.append(result)
+        if result.changed and not dry_run:
+            path.write_text(result.after, encoding="utf-8")
+    return report

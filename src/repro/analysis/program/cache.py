@@ -1,0 +1,88 @@
+"""Content-hash keyed store for module summaries.
+
+Whole-program analysis wants every module's summary on every run, even
+when only one file changed (``repro lint --changed`` still needs the
+full call graph). Re-parsing ~200 unchanged files per pre-commit run is
+the kind of constant tax that gets a linter turned off, so summaries are
+cached under ``.simlint-cache/`` keyed by the SHA-256 of the file's
+*content* — not its mtime, so branch switches and checkouts never serve
+a stale summary, and a byte-identical file is a guaranteed hit.
+
+Entries are one JSON file per content hash, written atomically
+(tmp + rename) so concurrent lint runs — the test suite runs several —
+can share a cache directory without torn reads. A cache is an
+optimisation, never a correctness input: any unreadable, unparsable or
+version-mismatched entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.analysis.program.summary import ModuleSummary
+
+#: Directory name, relative to the config root.
+CACHE_DIR_NAME = ".simlint-cache"
+
+#: Subdirectory for summary entries (leaves room for future artifacts).
+_SUMMARIES = "summaries"
+
+
+def content_key(source: str, relpath: str) -> str:
+    """Cache key for one file: content hash salted with its relpath.
+
+    The relpath participates because the module *name* (and therefore
+    import resolution) derives from the path: the same bytes at a
+    different location are a different module.
+    """
+    digest = hashlib.sha256()
+    digest.update(relpath.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(source.encode("utf-8"))
+    return digest.hexdigest()
+
+
+class SummaryCache:
+    """On-disk summary store. All failures degrade to cache misses."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self._dir = root / _SUMMARIES
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def get(self, source: str, relpath: str) -> ModuleSummary | None:
+        """The cached summary for this exact content, or ``None``."""
+        path = self._entry_path(content_key(source, relpath))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.misses += 1
+            return None
+        summary = ModuleSummary.from_json(data) if isinstance(data, dict) else None
+        if summary is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return summary
+
+    def put(self, source: str, relpath: str, summary: ModuleSummary) -> None:
+        """Store ``summary`` atomically; IO errors are swallowed."""
+        path = self._entry_path(content_key(source, relpath))
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(
+                json.dumps(summary.to_json(), separators=(",", ":")),
+                encoding="utf-8",
+            )
+            tmp.replace(path)
+        except OSError:
+            # A read-only checkout or a full disk must not fail the lint.
+            return

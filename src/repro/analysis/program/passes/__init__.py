@@ -1,0 +1,10 @@
+"""Whole-program passes: importing this package registers SIM201-SIM204."""
+
+from __future__ import annotations
+
+from repro.analysis.program.passes import (  # noqa: F401
+    counters,
+    pickle_safety,
+    purity,
+    units_flow,
+)

@@ -1,0 +1,65 @@
+"""SIM204: mixed-unit arithmetic across assignments and call boundaries.
+
+The per-file unit rules police *literals* (SIM001) and derivable
+constants (SIM105); what they cannot see is a value changing scale as it
+flows — ``elapsed_ns + transfer_seconds`` is silently off by 1e9, and
+``region_gib + size_bytes`` by 2**30. The summaries already tag
+identifiers by the repo's suffix convention, propagate tags through
+assignments, scale-constant multiplies (``x * units.GIB`` is bytes) and
+divisions, and record every additive expression or comparison whose
+operand tags disagree.
+
+This pass is the cross-function half: a recorded operand may be a
+*deferred* reference (``@call:media_seconds``) whose tag is the callee's
+return tag. The callee is resolved through the call graph and its
+return tag substituted; only a mix whose two sides resolve to distinct
+*concrete* tags becomes a finding — an unresolvable side stays silent,
+because a guessed unit is worse than no verdict.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import register_program
+
+RULE = Rule(
+    code="SIM204",
+    name="unit-flow-mix",
+    summary="arithmetic combines values carrying different unit tags",
+)
+
+#: Tag pairs that are legitimately combined: dimensionless-ish scales
+#: the convention does not separate strictly enough to enforce.
+_COMPATIBLE: frozenset[frozenset[str]] = frozenset()
+
+
+def _resolve_side(program, ref, tag: str) -> str | None:
+    """Concrete tag for one operand; ``None`` when unresolvable."""
+    if not tag.startswith("@call:"):
+        return tag
+    callee = tag[len("@call:"):]
+    resolved = program.resolve_call(ref, callee)
+    if resolved is None or resolved not in program.functions:
+        return None
+    return program.functions[resolved].summary.return_tag
+
+
+@register_program(RULE)
+def check_unit_flow(program) -> Iterable[Finding]:
+    for full in sorted(program.functions):
+        ref = program.functions[full]
+        for mix in ref.summary.unit_mixes:
+            left = _resolve_side(program, ref, mix.left)
+            right = _resolve_side(program, ref, mix.right)
+            if left is None or right is None or left == right:
+                continue
+            if frozenset((left, right)) in _COMPATIBLE:
+                continue
+            yield program.finding(
+                RULE, ref.module, mix.line, mix.col,
+                f"'{mix.text}' combines '{left}' with '{right}' in "
+                f"'{full}' — same dimension, different scale is a silent "
+                f"corruption bug",
+            )

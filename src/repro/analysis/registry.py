@@ -1,10 +1,17 @@
 """Checker registry.
 
-A *checker* is a callable ``(module: ast.Module, ctx: FileContext) ->
-Iterable[Finding]`` registered under a :class:`~repro.analysis.finding.Rule`.
-Rule modules register themselves at import time via the :func:`register`
-decorator; :mod:`repro.analysis.rules` imports them all so that importing
-that package is enough to populate the registry.
+Two kinds of analysis register here under the same rule namespace:
+
+* A per-file *checker* — ``(module: ast.Module, ctx: FileContext) ->
+  Iterable[Finding]`` — registered via :func:`register`.
+* A whole-program *pass* — ``(program: Program) -> Iterable[Finding]``
+  — registered via :func:`register_program` and run once per analysis
+  over the shared :class:`~repro.analysis.program.graph.Program`.
+
+Rule modules register themselves at import time; :func:`_ensure_loaded`
+imports them all so that touching the registry is enough to populate it.
+``--select``/``--disable`` references resolve across both registries, so
+the CLI surface does not distinguish the two layers.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.analysis.config import SimlintConfig
-from repro.analysis.finding import Finding, Rule
+from repro.analysis.finding import Finding, Fix, Rule
 from repro.errors import AnalysisError
 
 Checker = Callable[[ast.Module, "FileContext"], Iterable[Finding]]
@@ -40,7 +47,8 @@ class FileContext:
             return self.lines[line - 1].strip()
         return ""
 
-    def finding(self, rule: Rule, node: ast.AST, message: str) -> Finding:
+    def finding(self, rule: Rule, node: ast.AST, message: str,
+                fix: Fix | None = None) -> Finding:
         """Build a :class:`Finding` for ``rule`` anchored at ``node``."""
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
@@ -52,39 +60,92 @@ class FileContext:
             name=rule.name,
             message=message,
             snippet=self.snippet(line),
+            fix=fix,
+        )
+
+    def fix_for(self, node: ast.AST, replacement: str,
+                adds_import: str | None = None) -> Fix | None:
+        """A :class:`Fix` replacing exactly ``node``'s source span."""
+        if getattr(node, "end_lineno", None) is None:
+            return None
+        return Fix(
+            line=node.lineno,
+            col=node.col_offset,
+            end_line=node.end_lineno,
+            end_col=node.end_col_offset,
+            replacement=replacement,
+            adds_import=adds_import,
         )
 
 
+#: Signature of a whole-program pass. Typed loosely to keep this module
+#: free of an import cycle with :mod:`repro.analysis.program.graph`.
+ProgramPass = Callable[[object], Iterable[Finding]]
+
 _REGISTRY: dict[str, tuple[Rule, Checker]] = {}
+_PROGRAM_REGISTRY: dict[str, tuple[Rule, ProgramPass]] = {}
+
+
+def _check_unique(rule: Rule) -> None:
+    if rule.code in _REGISTRY or rule.code in _PROGRAM_REGISTRY:
+        raise AnalysisError(f"duplicate rule code {rule.code}")
+    existing_names = {
+        existing.name
+        for existing, _ in (*_REGISTRY.values(), *_PROGRAM_REGISTRY.values())
+    }
+    if rule.name in existing_names:
+        raise AnalysisError(f"duplicate rule name {rule.name}")
 
 
 def register(rule: Rule) -> Callable[[Checker], Checker]:
-    """Class/function decorator adding a checker to the registry."""
+    """Class/function decorator adding a per-file checker to the registry."""
 
     def decorate(checker: Checker) -> Checker:
-        if rule.code in _REGISTRY:
-            raise AnalysisError(f"duplicate rule code {rule.code}")
-        if any(existing.name == rule.name for existing, _ in _REGISTRY.values()):
-            raise AnalysisError(f"duplicate rule name {rule.name}")
+        _check_unique(rule)
         _REGISTRY[rule.code] = (rule, checker)
         return checker
 
     return decorate
 
 
+def register_program(rule: Rule) -> Callable[[ProgramPass], ProgramPass]:
+    """Decorator adding a whole-program pass to the registry."""
+
+    def decorate(program_pass: ProgramPass) -> ProgramPass:
+        _check_unique(rule)
+        _PROGRAM_REGISTRY[rule.code] = (rule, program_pass)
+        return program_pass
+
+    return decorate
+
+
 def _ensure_loaded() -> None:
     # Imported lazily so registry.py itself stays import-cycle free.
+    import repro.analysis.program.passes  # noqa: F401
     import repro.analysis.rules  # noqa: F401
 
 
 def all_rules() -> list[Rule]:
-    """Every registered rule, sorted by code."""
+    """Every registered rule (file and program), sorted by code."""
     _ensure_loaded()
-    return [rule for rule, _ in sorted(_REGISTRY.values(), key=lambda rc: rc[0].code)]
+    combined = (*_REGISTRY.values(), *_PROGRAM_REGISTRY.values())
+    return [rule for rule, _ in sorted(combined, key=lambda rc: rc[0].code)]
+
+
+def resolve_rule(rule_ref: str) -> Rule:
+    """Resolve a code-or-name reference across both registries."""
+    _ensure_loaded()
+    for rule, _ in (*_REGISTRY.values(), *_PROGRAM_REGISTRY.values()):
+        if rule.matches(rule_ref):
+            return rule
+    raise AnalysisError(
+        f"unknown rule {rule_ref!r}; known rules: "
+        f"{', '.join(f'{r.code}/{r.name}' for r in all_rules())}"
+    )
 
 
 def checker_for(rule_ref: str) -> tuple[Rule, Checker]:
-    """Look up a checker by rule code or name."""
+    """Look up a per-file checker by rule code or name."""
     _ensure_loaded()
     for rule, checker in _REGISTRY.values():
         if rule.matches(rule_ref):
@@ -95,18 +156,34 @@ def checker_for(rule_ref: str) -> tuple[Rule, Checker]:
     )
 
 
+def _active(registry: dict[str, tuple[Rule, object]],
+            config: SimlintConfig, select: Iterable[str] | None,
+            disable: Iterable[str] | None) -> list[tuple[Rule, object]]:
+    _ensure_loaded()
+    if select:
+        codes = {resolve_rule(ref).code for ref in select}
+        chosen = [registry[code] for code in sorted(codes) if code in registry]
+    else:
+        chosen = sorted(registry.values(), key=lambda rc: rc[0].code)
+    dropped = {resolve_rule(ref).code for ref in (*config.disable, *(disable or ()))}
+    return [(rule, fn) for rule, fn in chosen if rule.code not in dropped]
+
+
 def active_checkers(config: SimlintConfig, select: Iterable[str] | None = None,
                     disable: Iterable[str] | None = None) -> list[tuple[Rule, Checker]]:
-    """Checkers to run given config plus CLI ``--select``/``--disable``.
+    """Per-file checkers to run given config plus ``--select``/``--disable``.
 
     ``select`` (if given) whitelists rules; ``disable`` and the config's
     ``disable`` list are then removed. Unknown references raise
     :class:`~repro.errors.AnalysisError` rather than being ignored.
+    A ``select`` naming only program rules simply yields no checkers.
     """
-    _ensure_loaded()
-    chosen = [checker_for(ref) for ref in select] if select else [
-        (rule, checker)
-        for rule, checker in sorted(_REGISTRY.values(), key=lambda rc: rc[0].code)
-    ]
-    dropped = {checker_for(ref)[0].code for ref in (*config.disable, *(disable or ()))}
-    return [(rule, checker) for rule, checker in chosen if rule.code not in dropped]
+    return _active(_REGISTRY, config, select, disable)
+
+
+def active_program_passes(
+    config: SimlintConfig, select: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> list[tuple[Rule, ProgramPass]]:
+    """Whole-program passes to run, under the same selection semantics."""
+    return _active(_PROGRAM_REGISTRY, config, select, disable)

@@ -131,4 +131,5 @@ def check_set_iteration(module: ast.Module, ctx: FileContext) -> Iterator[Findin
                     SET_ITERATION, it,
                     "iterating a set feeds its nondeterministic order into the "
                     "simulation; wrap it in sorted(...)",
+                    fix=ctx.fix_for(it, f"sorted({ast.unparse(it)})"),
                 )

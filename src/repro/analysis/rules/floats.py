@@ -1,6 +1,6 @@
 """Float-hygiene rule.
 
-**SIM201 float-equality** — ``==`` / ``!=`` where either side is visibly a
+**SIM107 float-equality** — ``==`` / ``!=`` where either side is visibly a
 float: a float literal, a ``float(...)`` call, or a true division. The
 simulator accumulates service times as floats, so exact comparison is a
 latent bug even when it happens to work today (the seed tree's
@@ -18,7 +18,7 @@ from repro.analysis.finding import Finding, Rule
 from repro.analysis.registry import FileContext, register
 
 FLOAT_EQUALITY = Rule(
-    code="SIM201",
+    code="SIM107",
     name="float-equality",
     summary="exact == / != comparison on a float expression",
 )

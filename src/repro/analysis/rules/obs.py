@@ -31,6 +31,37 @@ COUNTER_NAME = Rule(
 #: Recorder methods whose first argument is a catalogue-governed name.
 _COUNTER_METHODS = frozenset({"incr", "observe"})
 
+#: Near-miss unit suffixes with their canonical spelling: the typo class
+#: SIM104 can fix mechanically (anything else needs a human to decide
+#: what the counter actually measures).
+_SUFFIX_TYPOS = {
+    "byte": "bytes",
+    "counts": "count",
+    "cnt": "count",
+    "num": "count",
+    "sec": "seconds",
+    "secs": "seconds",
+    "second": "seconds",
+    "ratios": "ratio",
+    "gb_s": "gbps",
+    "gbit": "gbps",
+}
+
+
+def _typo_fix(ctx: FileContext, node: ast.Constant):
+    """A rewrite for a misspelt unit suffix, when one clearly applies."""
+    segments = node.value.split(".")
+    last = segments[-1]
+    for typo, canonical in _SUFFIX_TYPOS.items():
+        if last == typo or last.endswith(f"_{typo}"):
+            fixed_last = canonical if last == typo else (
+                last[: -len(typo)] + canonical
+            )
+            fixed = ".".join((*segments[:-1], fixed_last))
+            if validate_name(fixed) is None:
+                return ctx.fix_for(node, repr(fixed))
+    return None
+
 
 @register(COUNTER_NAME)
 def check_counter_names(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
@@ -52,4 +83,5 @@ def check_counter_names(module: ast.Module, ctx: FileContext) -> Iterator[Findin
                 f"counter name {first.value!r} {reason}; expected "
                 "dotted.lower_snake segments ending in a unit suffix "
                 "(_bytes, _count, _seconds, _ratio, _gbps)",
+                fix=_typo_fix(ctx, first),
             )

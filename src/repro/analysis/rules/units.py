@@ -95,6 +95,28 @@ def _magic_binop(node: ast.BinOp) -> str | None:
     return f"{value} bytes via the units module"
 
 
+#: Import the SIM001 autofix replacements rely on.
+_UNITS_IMPORT = "from repro import units"
+
+
+#: Drop-in suggestion shapes: ``units.GIB`` or ``4 * units.MIB``. Prose
+#: suggestions ("... bytes via the units module") have no rewrite.
+_FIXABLE_SUGGESTION_RE = re.compile(r"^(\d+ \* )?units\.[A-Z]+$")
+
+
+def _suggestion_fix(ctx: FileContext, node: ast.AST, suggestion: str):
+    """A :class:`Fix` when the suggestion is a drop-in expression.
+
+    Multi-token replacements are parenthesised so they bind at least as
+    tightly as the literal they replace (``x / 500e-9`` must become
+    ``x / (500 * units.NS)``, not ``x / 500 * units.NS``).
+    """
+    if _FIXABLE_SUGGESTION_RE.match(suggestion) is None:
+        return None
+    replacement = f"({suggestion})" if " " in suggestion else suggestion
+    return ctx.fix_for(node, replacement, adds_import=_UNITS_IMPORT)
+
+
 @register(UNIT_LITERAL)
 def check_unit_literals(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
     if ctx.config.is_unit_literal_file(ctx.relpath):
@@ -113,6 +135,7 @@ def check_unit_literals(module: ast.Module, ctx: FileContext) -> Iterator[Findin
                     UNIT_LITERAL, node,
                     f"magic unit expression {ast.unparse(node)!r}; "
                     f"use {suggestion} from repro.units",
+                    fix=_suggestion_fix(ctx, node, suggestion),
                 )
     for node in ast.walk(module):
         if not isinstance(node, ast.Constant):
@@ -129,6 +152,7 @@ def check_unit_literals(module: ast.Module, ctx: FileContext) -> Iterator[Findin
                 UNIT_LITERAL, node,
                 f"magic unit literal {node.value!r}; use {suggestion} "
                 "from repro.units",
+                fix=_suggestion_fix(ctx, node, suggestion),
             )
 
 

@@ -1,8 +1,18 @@
-"""Drive the checkers over files and fold in suppressions + baseline."""
+"""Drive the checkers over files and fold in suppressions + baseline.
+
+Two layers run per analysis: the per-file checkers (one module at a
+time) and the whole-program passes (once, over a
+:class:`~repro.analysis.program.graph.Program` built from the config's
+full path set so cross-module edges exist even when only a subset of
+files was requested). Program findings are filtered to the requested
+scope and go through the same suppression and baseline machinery as
+per-file ones, so the CLI surface does not distinguish the layers.
+"""
 
 from __future__ import annotations
 
 import ast
+import subprocess
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -10,7 +20,12 @@ from pathlib import Path
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import SimlintConfig
 from repro.analysis.finding import Finding, Rule
-from repro.analysis.registry import Checker, FileContext, active_checkers
+from repro.analysis.registry import (
+    Checker,
+    FileContext,
+    active_checkers,
+    active_program_passes,
+)
 from repro.analysis.suppressions import Suppressions
 from repro.errors import AnalysisError
 
@@ -109,6 +124,84 @@ def analyze_file(
     return kept, len(raw) - len(kept)
 
 
+def changed_files(root: Path) -> set[str]:
+    """Relpaths touched vs ``HEAD`` (worktree + staged + untracked).
+
+    Backs ``repro lint --changed``. Raises
+    :class:`~repro.errors.AnalysisError` outside a git checkout.
+    """
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    changed: set[str] = set()
+    for command in commands:
+        try:
+            proc = subprocess.run(
+                command, cwd=root, capture_output=True, text=True, check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise AnalysisError(
+                f"--changed requires a git checkout at {root}: {exc}"
+            ) from exc
+        changed.update(
+            line.strip() for line in proc.stdout.splitlines() if line.strip()
+        )
+    return changed
+
+
+def _run_program_passes(
+    config: SimlintConfig,
+    targets: Sequence[Path],
+    select: Sequence[str] | None,
+    disable: Sequence[str] | None,
+    scope: set[str],
+    use_cache: bool,
+) -> tuple[list[Finding], int]:
+    """Run the whole-program passes; returns (kept findings, suppressed).
+
+    The program is built from the config's full path set when it exists
+    (cross-module edges need the whole tree) and from the requested
+    targets otherwise (bare fixture directories). Findings are then
+    filtered to the files actually requested, so linting a subtree does
+    not report escapes anchored elsewhere.
+    """
+    passes = active_program_passes(config, select=select, disable=disable)
+    if not passes:
+        return [], 0
+    from repro.analysis.program.graph import build_program
+
+    roots = [config.root / p for p in config.paths]
+    if not all(root.exists() for root in roots):
+        roots = list(targets)
+    program = build_program(roots, config, use_cache=use_cache)
+
+    raw: list[Finding] = []
+    for _rule, program_pass in passes:
+        raw.extend(program_pass(program))
+    raw.sort()
+
+    rules = {rule.code: rule for rule, _ in passes}
+    by_relpath = {m.relpath: m for m in program.modules.values()}
+    suppression_cache: dict[str, Suppressions] = {}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        if finding.path not in scope:
+            continue
+        if finding.path not in suppression_cache:
+            module = by_relpath.get(finding.path)
+            suppression_cache[finding.path] = (
+                Suppressions.scan(module.source) if module is not None
+                else Suppressions.scan("")
+            )
+        if suppression_cache[finding.path].suppresses(finding, rules):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
 def run_analysis(
     paths: Sequence[Path] | None = None,
     config: SimlintConfig | None = None,
@@ -116,8 +209,16 @@ def run_analysis(
     select: Sequence[str] | None = None,
     disable: Sequence[str] | None = None,
     use_baseline: bool = True,
+    use_cache: bool = True,
+    changed_only: bool = False,
 ) -> AnalysisReport:
-    """Analyze ``paths`` (default: the config's) and apply the baseline."""
+    """Analyze ``paths`` (default: the config's) and apply the baseline.
+
+    ``changed_only`` restricts reporting to files with uncommitted
+    changes (per git); the whole-program passes still see the full tree,
+    so a changed file breaking a cross-module contract is caught even
+    when the finding's witness path runs through unchanged code.
+    """
     if config is None:
         from repro.analysis.config import load_config
 
@@ -125,19 +226,38 @@ def run_analysis(
     targets = list(paths) if paths else [config.root / p for p in config.paths]
     checkers = active_checkers(config, select=select, disable=disable)
 
+    changed: set[str] | None = None
+    if changed_only:
+        changed = changed_files(config.root)
+
     report = AnalysisReport()
     all_findings: list[Finding] = []
+    scope: set[str] = set()
     for path in iter_python_files(targets, config):
+        relpath = _relpath(path, config.root)
+        if changed is not None and relpath not in changed:
+            continue
+        scope.add(relpath)
         findings, suppressed = analyze_file(path, config, checkers)
         all_findings.extend(findings)
         report.suppressed += suppressed
         report.files += 1
 
+    program_findings, program_suppressed = _run_program_passes(
+        config, targets, select, disable, scope, use_cache,
+    )
+    all_findings.extend(program_findings)
+    report.suppressed += program_suppressed
+    all_findings.sort()
+
     baseline_path = config.baseline_path() if use_baseline else None
     if baseline_path is not None and baseline_path.is_file():
         baseline = Baseline.load(baseline_path)
         report.findings, report.baselined = baseline.split(all_findings)
-        report.stale_baseline = baseline.stale_entries(all_findings)
+        if not changed_only:
+            # A changed-scoped run never scans most files, so absence of
+            # a baselined finding proves nothing about staleness.
+            report.stale_baseline = baseline.stale_entries(all_findings)
     else:
         report.findings = all_findings
     return report

@@ -1,12 +1,12 @@
-"""Deliberately bad fixture: float-equality (SIM201).
+"""Deliberately bad fixture: float-equality (SIM107).
 
 Analyzed by tests/analysis/test_rules.py; never imported.
 """
 
 
 def exact_compare(media_bytes: float, total: float, count: int) -> bool:
-    if media_bytes == 0.0:              # SIM201: float literal comparison
+    if media_bytes == 0.0:              # SIM107: float literal comparison
         return True
-    if total / count != 1.0:            # SIM201: division result comparison
+    if total / count != 1.0:            # SIM107: division result comparison
         return False
-    return float(count) == total        # SIM201: float() call comparison
+    return float(count) == total        # SIM107: float() call comparison

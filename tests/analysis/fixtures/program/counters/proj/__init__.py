@@ -1,0 +1,1 @@
+"""SIM203 fixture package: a mini counter catalogue plus emitters."""

@@ -1,0 +1,14 @@
+"""A miniature counter catalogue in the repo's shape."""
+
+
+class CounterSpec:
+    def __init__(self, name, doc=""):
+        self.name = name
+        self.doc = doc
+
+
+CATALOG = (
+    CounterSpec("app.good_count", "emitted by emit.record"),
+    CounterSpec("app.*.part_count", "per-partition, emitted via f-string"),
+    CounterSpec("app.dead_bytes", "nothing emits this any more"),
+)

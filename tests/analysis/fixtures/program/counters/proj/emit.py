@@ -1,0 +1,21 @@
+"""Emitters: one clean, one unknown, one suppressed, one f-string wildcard."""
+
+PREFIX = "app"
+
+
+def record(rec, value):
+    rec.incr("app.good_count", value)
+
+
+def record_unknown(rec, value):
+    rec.incr("app.phantom_count", value)  # not in the catalogue
+
+
+def record_quietly(rec, value):
+    rec.incr("app.ghost_count", value)  # simlint: ignore[counter-drift]
+
+
+def record_partition(rec, part, value):
+    # ``p{part}`` is a partial-segment placeholder, so the name resolves
+    # to the pattern 'app.*.part_count' and keeps the wildcard entry live.
+    rec.observe(f"{PREFIX}.p{part}.part_count", value)

@@ -1,0 +1,1 @@
+"""SIM202 fixture package: a boundary type pulling in a hostile nested one."""

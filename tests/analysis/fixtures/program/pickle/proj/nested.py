@@ -1,0 +1,12 @@
+"""Reached through ``JobSpec.payload``'s annotation."""
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass
+class Inner:
+    name: str
+    guard = threading.Lock()  # the cross-module positive
+    quiet = threading.Lock()  # simlint: ignore[pickle-safety]
+    weight: float = 1.0

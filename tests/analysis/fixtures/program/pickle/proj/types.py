@@ -1,0 +1,20 @@
+"""The type named in ``pickle-boundary``."""
+
+from dataclasses import dataclass
+
+from proj.nested import Inner
+
+
+@dataclass
+class JobSpec:
+    label: str
+    payload: Inner
+    key = lambda spec: spec.label  # noqa: E731 — the direct positive
+    retries: int = 3
+
+
+@dataclass
+class Standalone:
+    """Not on the boundary and referenced by nothing that is."""
+
+    on_done = lambda: None  # noqa: E731 — hostile but out of scope

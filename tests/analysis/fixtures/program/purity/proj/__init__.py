@@ -1,0 +1,1 @@
+"""SIM201 fixture package: one pure root, one escape two calls away."""

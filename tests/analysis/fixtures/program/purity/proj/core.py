@@ -1,0 +1,16 @@
+"""The purity root. Clean itself; the escape hides in a callee."""
+
+from proj import helpers
+
+
+def evaluate(x):
+    a = helpers.accumulate(x)
+    b = helpers.pure_double(x)
+    c = helpers.noted(x)
+    return a + b + c
+
+
+def unreachable_writer(x):
+    # Impure, but not reachable from the root: must NOT be flagged.
+    helpers.HISTORY.append(x)
+    return x

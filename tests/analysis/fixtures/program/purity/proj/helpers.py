@@ -1,0 +1,20 @@
+"""Callees of the root: one escape, one clean, one suppressed."""
+
+_CACHE = {}
+HISTORY = []
+
+
+def accumulate(x):
+    _CACHE[x] = x  # the cross-module escape SIM201 must find
+    return x
+
+
+def pure_double(x):
+    local = {}
+    local[x] = x  # local mutation is fine
+    return 2 * x
+
+
+def noted(x):
+    HISTORY.append(x)  # simlint: ignore[purity-escape]
+    return x

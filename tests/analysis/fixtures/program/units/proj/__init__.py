@@ -1,0 +1,1 @@
+"""SIM204 fixture package: unit tags flowing across a call boundary."""

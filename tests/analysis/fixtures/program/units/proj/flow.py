@@ -1,0 +1,15 @@
+"""Arithmetic that mixes the callee's ns return with local gib values."""
+
+from proj import helpers
+
+
+def mixed(t0_ns, t1_ns, size_gib):
+    return helpers.window(t0_ns, t1_ns) + size_gib  # the cross-module positive
+
+
+def consistent(a_ns, b_ns):
+    return a_ns + b_ns  # same scale, fine
+
+
+def hushed(t0_ns, t1_ns, size_gib):
+    return helpers.window(t0_ns, t1_ns) + size_gib  # simlint: ignore[unit-flow-mix]

@@ -1,0 +1,5 @@
+"""A callee whose return value carries a unit tag but whose name does not."""
+
+
+def window(t0_ns, t1_ns):
+    return t1_ns - t0_ns

@@ -1,6 +1,7 @@
 """The simlint CLI: exit codes, JSON output, baseline writing."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.analysis.cli import main
@@ -26,7 +27,7 @@ class TestExitCodes:
         pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
         assert main(["--config", str(pyproject)]) == 1
         out = capsys.readouterr().out
-        assert "SIM201" in out and "mod.py:1" in out
+        assert "SIM107" in out and "mod.py:1" in out
 
     def test_config_error_exits_two(self, tmp_path, capsys):
         missing = tmp_path / "nope.toml"
@@ -45,7 +46,7 @@ class TestJsonOutput:
         payload = json.loads(capsys.readouterr().out)
         assert payload["files"] == 1
         (finding,) = payload["findings"]
-        assert finding["rule"] == "SIM201"
+        assert finding["rule"] == "SIM107"
         assert finding["snippet"] == "x = 1.0 == 1.0"
 
 
@@ -54,7 +55,7 @@ class TestRuleSelection:
         pyproject = write_project(tmp_path, "x = 1.0 == 1.0\ny = 2 * 1024**3\n")
         assert main(["--config", str(pyproject), "--select", "unit-literal"]) == 1
         out = capsys.readouterr().out
-        assert "SIM001" in out and "SIM201" not in out
+        assert "SIM001" in out and "SIM107" not in out
 
     def test_unknown_rule_exits_two(self, tmp_path, capsys):
         pyproject = write_project(tmp_path, "x = 1\n")
@@ -71,7 +72,7 @@ class TestBaselineWorkflow:
         pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
         assert main(["--config", str(pyproject), "--write-baseline"]) == 0
         entries = json.loads((tmp_path / "base.json").read_text())["entries"]
-        assert [e["rule"] for e in entries] == ["SIM201"]
+        assert [e["rule"] for e in entries] == ["SIM107"]
         assert main(["--config", str(pyproject)]) == 0
         assert "1 baselined" in capsys.readouterr().out
 
@@ -86,3 +87,34 @@ class TestBaselineWorkflow:
         (tmp_path / "mod.py").write_text("x = 1\n")
         assert main(["--config", str(pyproject)]) == 0
         assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_strict_baseline_makes_stale_entries_an_error(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, "x = 1.0 == 1.0\n")
+        assert main(["--config", str(pyproject), "--write-baseline"]) == 0
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert main(["--config", str(pyproject), "--strict-baseline"]) == 1
+        assert "stale baseline" in capsys.readouterr().err
+
+
+class TestChangedScope:
+    def _git(self, tmp_path, *argv):
+        subprocess.run(
+            ["git", "-C", str(tmp_path), *argv],
+            check=True, capture_output=True,
+        )
+
+    def test_changed_reports_only_touched_files(self, tmp_path, capsys):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.simlint]\npaths = ['.']\n"
+        )
+        (tmp_path / "committed.py").write_text("x = 1.0 == 1.0\n")
+        self._git(tmp_path, "init", "-q")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "-c", "user.email=t@t", "-c", "user.name=t",
+                  "commit", "-q", "--no-verify", "-m", "seed")
+        (tmp_path / "fresh.py").write_text("y = 2.0 == 2.0\n")
+        pyproject = str(tmp_path / "pyproject.toml")
+        assert main(["--config", pyproject, "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "fresh.py" in out
+        assert "committed.py" not in out

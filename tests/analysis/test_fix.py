@@ -1,0 +1,115 @@
+"""The autofix engine: exact-span rewrites, idempotence, clean output.
+
+The contract under test: ``--fix`` applies only mechanical rewrites, the
+result always parses, a second ``--fix`` run changes nothing, and the
+fixed tree lints clean for the rules that were fixed.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write_project(tmp_path, body: str) -> Path:
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.simlint]\npaths = ['mod.py']\n"
+    )
+    (tmp_path / "mod.py").write_text(body)
+    return tmp_path / "pyproject.toml"
+
+
+def run(pyproject: Path, *extra: str) -> int:
+    return main(["--config", str(pyproject), "--no-cache", *extra])
+
+
+class TestDryRun:
+    BODY = "CAP = 4 * 1024**3\n"
+
+    def test_prints_a_diff_and_leaves_the_file_alone(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, self.BODY)
+        assert run(pyproject, "--fix", "--dry-run") == 1
+        captured = capsys.readouterr()
+        assert "--- a/mod.py" in captured.out
+        assert "+++ b/mod.py" in captured.out
+        assert "+CAP = 4 * units.GIB" in captured.out
+        assert "would fix 1 finding(s)" in captured.err
+        assert (tmp_path / "mod.py").read_text() == self.BODY
+
+    def test_dry_run_without_fix_is_an_error(self, tmp_path, capsys):
+        pyproject = write_project(tmp_path, self.BODY)
+        assert run(pyproject, "--dry-run") == 2
+
+
+class TestApply:
+    def test_unit_literal_fix_adds_the_import_once(self, tmp_path, capsys):
+        pyproject = write_project(
+            tmp_path, "CAP = 4 * 1024**3\nWIN = 500e-9\n"
+        )
+        assert run(pyproject, "--fix") == 0
+        fixed = (tmp_path / "mod.py").read_text()
+        assert fixed.count("from repro import units") == 1
+        assert "4 * units.GIB" in fixed
+        assert "(500 * units.NS)" in fixed
+
+    def test_set_iteration_fix_wraps_in_sorted(self, tmp_path, capsys):
+        pyproject = write_project(
+            tmp_path,
+            "def scan(items):\n    out = []\n"
+            "    for item in {3, 1, 2}:\n        out.append(item)\n"
+            "    return out\n",
+        )
+        assert run(pyproject, "--fix") == 0
+        assert "for item in sorted({3, 1, 2}):" in (tmp_path / "mod.py").read_text()
+
+    def test_counter_typo_fix_rewrites_the_name(self, tmp_path, capsys):
+        pyproject = write_project(
+            tmp_path,
+            "def report(rec, n):\n    rec.incr('app.flush_cnt', n)\n",
+        )
+        assert run(pyproject, "--fix") == 0
+        assert "app.flush_count" in (tmp_path / "mod.py").read_text()
+
+    def test_exit_code_reflects_the_post_fix_state(self, tmp_path, capsys):
+        # One fixable finding plus one unfixable one: --fix applies the
+        # rewrite but still exits 1 for what remains.
+        pyproject = write_project(
+            tmp_path,
+            "CAP = 4 * 1024**3\nx = 1.0 == 2.0\n",
+        )
+        assert run(pyproject, "--fix") == 1
+        fixed = (tmp_path / "mod.py").read_text()
+        assert "units.GIB" in fixed
+        assert "1.0 == 2.0" in fixed
+
+
+BODIES = [
+    "CAP = 4 * 1024**3\n",
+    "WIN = 500e-9\nBUF = 64 * 1024**2\n",
+    "def scan(items):\n    for item in {3, 1, 2}:\n        yield item\n",
+    "def report(rec, n):\n    rec.incr('app.flush_cnt', n)\n",
+    "def lat(rec, t):\n    rec.observe('app.wait_secs', t)\n",
+]
+
+
+class TestFixContract:
+    @pytest.mark.parametrize("body", BODIES)
+    def test_fixed_output_parses_and_lints_clean(self, tmp_path, capsys, body):
+        pyproject = write_project(tmp_path, body)
+        run(pyproject, "--fix")
+        fixed = (tmp_path / "mod.py").read_text()
+        ast.parse(fixed)  # must still be valid Python
+        capsys.readouterr()
+        assert run(pyproject) == 0
+
+    @pytest.mark.parametrize("body", BODIES)
+    def test_fix_is_idempotent(self, tmp_path, capsys, body):
+        pyproject = write_project(tmp_path, body)
+        run(pyproject, "--fix")
+        once = (tmp_path / "mod.py").read_text()
+        run(pyproject, "--fix")
+        assert (tmp_path / "mod.py").read_text() == once

@@ -17,7 +17,7 @@ from repro.analysis.suppressions import Suppressions
 from repro.errors import AnalysisError, ReproError
 
 
-def make_finding(path="src/x.py", line=3, rule="SIM201", snippet="a == 0.0"):
+def make_finding(path="src/x.py", line=3, rule="SIM107", snippet="a == 0.0"):
     return Finding(path=path, line=line, col=1, rule=rule,
                    name="float-equality", message="m", snippet=snippet)
 
@@ -71,7 +71,7 @@ class TestSuppressions:
     def test_listed_rule_matches_name_or_code(self):
         source = (
             "a = 1  # simlint: ignore[float-equality]\n"
-            "b = 2  # simlint: ignore[SIM201]\n"
+            "b = 2  # simlint: ignore[SIM107]\n"
             "c = 3  # simlint: ignore[unit-literal]\n"
         )
         supp = Suppressions.scan(source)
@@ -131,13 +131,13 @@ class TestRegistry:
         codes = {r.code for r in all_rules()}
         assert codes == {
             "SIM001", "SIM002", "SIM101", "SIM102", "SIM103", "SIM104",
-            "SIM105", "SIM106", "SIM201", "SIM301", "SIM302", "SIM303",
-            "SIM401",
+            "SIM105", "SIM106", "SIM107", "SIM201", "SIM202", "SIM203",
+            "SIM204", "SIM301", "SIM302", "SIM303", "SIM401",
         }
 
     def test_lookup_by_name_and_code(self):
-        assert checker_for("float-equality")[0].code == "SIM201"
-        assert checker_for("SIM201")[0].name == "float-equality"
+        assert checker_for("float-equality")[0].code == "SIM107"
+        assert checker_for("SIM107")[0].name == "float-equality"
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(AnalysisError, match="unknown rule"):
@@ -151,7 +151,7 @@ class TestRunAnalysis:
         only_units = run_analysis(config=config, select=["unit-literal"])
         assert {f.rule for f in only_units.findings} == {"SIM001"}
         without_units = run_analysis(config=config, disable=["unit-literal"])
-        assert {f.rule for f in without_units.findings} == {"SIM201"}
+        assert {f.rule for f in without_units.findings} == {"SIM107"}
 
     def test_missing_path_raises(self, tmp_path):
         config = SimlintConfig(root=tmp_path, paths=("nowhere",))

@@ -106,7 +106,7 @@ class TestPurityRule:
 class TestFloatRule:
     def test_float_equality_fires_on_every_shape(self):
         findings, _ = run_fixture("bad_floats.py")
-        assert len([f for f in findings if f.rule == "SIM201"]) == 3
+        assert len([f for f in findings if f.rule == "SIM107"]) == 3
 
     def test_ordered_comparison_not_flagged(self, tmp_path):
         target = tmp_path / "ok.py"
@@ -255,7 +255,7 @@ class TestCleanAndSuppressed:
     def test_suppressions_silence_by_name_code_and_bare(self):
         findings, suppressed = run_fixture("suppressed.py")
         assert findings == []
-        assert suppressed == 5  # SIM001 x2, SIM201, SIM301, SIM302
+        assert suppressed == 5  # SIM001 x2, SIM107, SIM301, SIM302
 
     def test_parse_error_reported_as_finding(self, tmp_path):
         target = tmp_path / "broken.py"

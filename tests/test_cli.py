@@ -197,7 +197,7 @@ class TestLint:
         bad = tmp_path / "bad.py"
         bad.write_text("x = 1.0 == 1.0\n")
         assert main(["lint", str(bad)]) == 1
-        assert "SIM201" in capsys.readouterr().out
+        assert "SIM107" in capsys.readouterr().out
 
     def test_lint_list_rules(self, capsys):
         assert main(["lint", "--list-rules"]) == 0

@@ -41,6 +41,22 @@ def test_obs_package_is_lint_clean():
     assert report.findings == [], "\n".join(f.render() for f in report.findings)
 
 
+def test_whole_program_contracts_hold():
+    """The four interprocedural contracts, run repo-wide.
+
+    SIM201: nothing reachable from the evaluation roots mutates shared
+    state. SIM202: every type crossing the procpool boundary pickles.
+    SIM203: emitted counter names and the catalogue round-trip with no
+    drift in either direction. SIM204: no mixed-scale unit arithmetic
+    flows across a function boundary.
+    """
+    config = load_config(start=REPO_ROOT)
+    report = run_analysis(
+        config=config, select=["SIM201", "SIM202", "SIM203", "SIM204"]
+    )
+    assert report.findings == [], "\n".join(f.render() for f in report.findings)
+
+
 def test_counter_name_rule_is_registered():
     from repro.analysis.registry import all_rules
 
