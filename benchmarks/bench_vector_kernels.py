@@ -2,15 +2,17 @@
 
 Two speedup gates back the vector backend:
 
-* **Batched analytic grid >= 3x per-point.** ``evaluate_grid`` amortizes
-  the Python interpretation of the evaluation chain across a whole sweep
-  axis. The gate is 3x, not higher, because the contract caps the win:
-  results are a ``list[BandwidthResult]`` bit-identical to the scalar
-  path, and just *constructing* the three result objects per point
-  (counters dict, frozen stream, slotted result) costs ~4.7 us even via
-  the ``__new__`` fast path — an irreducible floor under a ~25-30 us
-  scalar baseline. The arithmetic itself vectorizes ~10x; the floor
-  bounds the end-to-end ratio near 3.5-4.5x.
+* **Columnar analytic grid >= 5x per-point.** ``evaluate_grid_columns``
+  amortizes the Python interpretation of the evaluation chain across a
+  whole sweep axis *and* keeps the results structure-of-arrays: no
+  per-point ``BandwidthResult`` is constructed anywhere on the batch
+  path. The old object-list contract capped the win near 3.5-4.5x —
+  just building the three result objects per point (counters dict,
+  frozen stream, slotted result) cost ~4.7 us even via the ``__new__``
+  fast path, an irreducible floor under a ~25-30 us scalar baseline.
+  The columnar batch removes that floor, so the gate moved from 3x to
+  5x. Bit-identity is still asserted on every host: materializing the
+  batch's lazy views reproduces the scalar results exactly.
 * **Epoch engine >= 3x scalar DES.** The epoch-stepped replay of the
   anchor set runs ~8-17x faster than the op-at-a-time ``heapq`` engine;
   3x is the regression floor, far under the measured headroom.
@@ -30,7 +32,7 @@ import pytest
 from repro.memsim import DirectoryState, Op, eval_context, evaluate, paper_config
 from repro.memsim.crosscheck import DEFAULT_ANCHORS
 from repro.memsim.engine import EngineConfig, simulate
-from repro.memsim.kernels import evaluate_grid, run_epochs
+from repro.memsim.kernels import evaluate_grid, evaluate_grid_columns, run_epochs
 from repro.memsim.spec import Pattern
 from repro.units import MIB
 from repro.workloads.sequential import sequential_sweep
@@ -40,7 +42,7 @@ _DENSE_SIZES = tuple(64 << i for i in range(14))
 _DENSE_THREADS = tuple(range(1, 37, 3))
 
 #: Minimum speedups enforced on capable hosts (see module docstring).
-_GRID_GATE = 3.0
+_GRID_GATE = 5.0
 _EPOCH_GATE = 3.0
 
 
@@ -94,7 +96,7 @@ def test_epoch_engine_anchor_set_cost(benchmark):
 
 
 def test_grid_speedup_over_scalar():
-    """Batched analytic evaluation must beat per-point by >= 3x."""
+    """Columnar batched evaluation must beat per-point by >= 5x."""
     config = paper_config()
     context = eval_context(config)
     state = DirectoryState.cold()
@@ -106,11 +108,14 @@ def test_grid_speedup_over_scalar():
         ]
 
     def batched():
-        return evaluate_grid(context, points, state)
+        return evaluate_grid_columns(context, points, state)
 
     expected = scalar()
-    got = batched()  # bit-identical before it may be faster
-    assert got == expected
+    # Bit-identical before it may be faster: the batch's lazy views are
+    # the scalar results, float for float.
+    assert evaluate_grid(context, points, state) == expected
+    columns = batched()
+    assert columns.total_gbps() == [r.total_gbps for r in expected]
     if _cores() < 4:
         pytest.skip(
             f"speedup gate needs >= 4 CPU cores for stable wall-clock "
@@ -120,7 +125,7 @@ def test_grid_speedup_over_scalar():
     batched_seconds = min(timeit.repeat(batched, number=1, repeat=5))
     speedup = scalar_seconds / batched_seconds
     assert speedup >= _GRID_GATE, (
-        f"evaluate_grid speedup {speedup:.2f}x < {_GRID_GATE}x over "
+        f"evaluate_grid_columns speedup {speedup:.2f}x < {_GRID_GATE}x over "
         f"{len(points)} points (scalar {scalar_seconds:.3f}s, "
         f"batched {batched_seconds:.3f}s)"
     )

@@ -56,6 +56,7 @@ DEFAULT_PICKLE_BOUNDARY: tuple[str, ...] = (
     "repro.memsim.config.DirectoryState",
     "repro.memsim.evaluation.BandwidthResult",
     "repro.memsim.evaluation.StreamResult",
+    "repro.memsim.kernels.columns.ResultColumns",
     "repro.workloads.grids.SweepPoint",
     "repro.errors.SweepError",
     "repro.errors.GridPointError",

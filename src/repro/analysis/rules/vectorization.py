@@ -1,10 +1,12 @@
-"""Vectorization rule.
+"""Vectorization rules.
 
 The batched kernels in :mod:`repro.memsim.kernels` exist to replace
-per-element Python with NumPy array expressions; a scalar loop creeping
-back into those modules silently erodes the speedup the vector backend
-promises. One rule guards the hot paths, confined to the configured
-``vector-paths`` (the kernels and the DES engines here):
+per-element Python with NumPy array expressions, and the columnar result
+path exists to keep whole sweeps structure-of-arrays from kernel to
+consumer; scalar loops or per-point object churn creeping back into
+those modules silently erode the speedup the vector backend promises.
+Two rules guard the hot paths, confined to the configured
+``vector-paths`` (the kernels, the DES engines, and the sweep layer):
 
 * **SIM106 scalar-loop-over-array** — an element-wise Python loop where
   an array expression would do: a ``for`` iterating a NumPy array (or
@@ -13,12 +15,25 @@ promises. One rule guards the hot paths, confined to the configured
   loop body (O(n) per removal — ``collections.deque.popleft()`` is O(1);
   the engine's retirement queue regression in
   ``tests/memsim/test_engine_retirement.py`` pins the fix).
+* **SIM108 point-materialization** — per-point result materialization
+  on a column batch inside a loop or comprehension: iterating a
+  :class:`~repro.memsim.kernels.ResultColumns` batch (or its
+  ``.views()``) row-by-row, or calling ``.view()``/``.views()`` on one
+  inside a loop body. Each view constructs a ``BandwidthResult`` — the
+  ~4.7 µs/point floor the columnar refactor removed. Read the columns
+  (``gbps``, ``total_gbps()``, ``point_total_gbps()``) or move rows
+  with ``append_from``/``extend`` instead; a single ``.views()`` at an
+  API boundary (outside any loop) is the sanctioned escape hatch.
 
-Array-ness is inferred locally and conservatively: a name counts as a
-NumPy array only when the module assigns it from a ``np.*``/``numpy.*``
-call. Loops the kernels legitimately need (per-stream setup, fixed-point
-iteration over epochs) iterate plain Python structures and never match;
-a reasoned exception belongs in the simlint baseline.
+Array-ness and batch-ness are inferred locally and conservatively: a
+name counts as a NumPy array only when the module assigns it from a
+``np.*``/``numpy.*`` call, and as a column batch only when assigned
+from one of the known batch producers (``ResultColumns(...)``,
+``from_results``, ``evaluate_batch_columns``, ``evaluate_grid_columns``,
+``run_columns``, ...). Loops the kernels legitimately need (per-stream
+setup, fixed-point iteration over epochs) iterate plain Python
+structures and never match; a reasoned exception belongs in the simlint
+baseline or behind a suppression comment.
 """
 
 from __future__ import annotations
@@ -34,6 +49,29 @@ SCALAR_LOOP = Rule(
     name="scalar-loop-over-array",
     summary="element-wise Python loop over a NumPy array in a kernel path",
 )
+
+POINT_MATERIALIZATION = Rule(
+    code="SIM108",
+    name="point-materialization",
+    summary="per-point result materialization on a columnar batch path",
+)
+
+#: Call names that produce a ``ResultColumns`` batch, mapped to which
+#: assignment target receives the batch: ``None`` for a plain
+#: ``batch = producer(...)``, else the tuple-unpack index of the batch
+#: (``evaluate_batch_columns`` returns ``(columns, emit)``;
+#: ``run_columns``/``run_grid_columns``/``_vector_columns`` return
+#: ``(labels, columns)``).
+_BATCH_PRODUCERS: dict[str, int | None] = {
+    "ResultColumns": None,
+    "from_results": None,
+    "assemble": None,
+    "evaluate_grid_columns": None,
+    "evaluate_batch_columns": 0,
+    "run_columns": -1,
+    "run_grid_columns": -1,
+    "_vector_columns": -1,
+}
 
 #: Heads recognised as the NumPy module in dotted call targets.
 _NP_HEADS = ("np", "numpy")
@@ -167,4 +205,108 @@ def check_scalar_loop(module: ast.Module, ctx: FileContext) -> Iterator[Finding]
                 SCALAR_LOOP, call,
                 "'.pop(0)' inside a loop shifts the whole list each "
                 "iteration (O(n^2) drain); use collections.deque.popleft()",
+            )
+
+
+def _batch_names(module: ast.Module) -> frozenset[str]:
+    """Names assigned from a known column-batch producer call."""
+    names: set[str] = set()
+    for node in ast.walk(module):
+        if isinstance(node, ast.Assign):
+            value, targets = node.value, node.targets
+        elif isinstance(node, ast.AnnAssign):
+            value, targets = node.value, [node.target]
+        else:
+            continue
+        if not isinstance(value, ast.Call):
+            continue
+        dotted = _dotted(value.func)
+        if dotted is None:
+            continue
+        position = _BATCH_PRODUCERS.get(dotted.split(".")[-1], "absent")
+        if position == "absent":
+            continue
+        for target in targets:
+            if position is None and isinstance(target, ast.Name):
+                names.add(target.id)
+            elif (
+                position is not None
+                and isinstance(target, ast.Tuple)
+                and isinstance(position, int)
+                and -len(target.elts) <= position < len(target.elts)
+                and isinstance(target.elts[position], ast.Name)
+            ):
+                names.add(target.elts[position].id)  # type: ignore[attr-defined]
+    return frozenset(names)
+
+
+def _view_calls(nodes: list[ast.AST], batches: frozenset[str]) -> Iterator[ast.Call]:
+    """``batch.view(...)`` / ``batch.views()`` calls anywhere under ``nodes``."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("view", "views")
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in batches
+            ):
+                yield node
+
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+@register(POINT_MATERIALIZATION)
+def check_point_materialization(
+    module: ast.Module, ctx: FileContext
+) -> Iterator[Finding]:
+    if not ctx.config.in_vector_scope(ctx.relpath):
+        return
+    batches = _batch_names(module)
+    if not batches:
+        return
+    seen: set[ast.Call] = set()
+    for node in ast.walk(module):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            it = node.iter
+            if isinstance(it, ast.Name) and it.id in batches:
+                yield ctx.finding(
+                    POINT_MATERIALIZATION, node,
+                    f"loop iterates column batch '{it.id}' row-by-row; "
+                    "read the columns (total_gbps(), gbps) or move rows "
+                    "with append_from/extend instead",
+                )
+            elif (
+                isinstance(it, ast.Call)
+                and isinstance(it.func, ast.Attribute)
+                and it.func.attr == "views"
+                and isinstance(it.func.value, ast.Name)
+                and it.func.value.id in batches
+            ):
+                seen.add(it)
+                yield ctx.finding(
+                    POINT_MATERIALIZATION, node,
+                    f"loop materializes every point of column batch "
+                    f"'{it.func.value.id}' via .views(); read the columns "
+                    "directly and keep views for the API boundary",
+                )
+            body: list[ast.AST] = list(node.body + node.orelse)
+        elif isinstance(node, ast.While):
+            body = list(node.body + node.orelse)
+        elif isinstance(node, _COMPREHENSIONS):
+            body = [node]
+        else:
+            continue
+        for call in _view_calls(body, batches):
+            if call in seen:
+                continue
+            seen.add(call)
+            target = call.func.value.id  # type: ignore[attr-defined]
+            yield ctx.finding(
+                POINT_MATERIALIZATION, call,
+                f"'.{call.func.attr}()' on column batch '{target}' inside "  # type: ignore[attr-defined]
+                "a loop materializes per-point results; read "
+                "point_total_gbps()/gbps or hoist the materialization to "
+                "the API boundary",
             )

@@ -31,9 +31,14 @@ from repro.errors import BenchError
 #: Canonical payload schema identifier.
 SCHEMA = "repro.bench/1"
 
-#: The ``--smoke`` subset: fast benches covering the sweep service and
-#: the process-pool/EvalContext layer this harness exists to track.
-SMOKE_BENCHES = ("bench_sweep_service.py", "bench_procpool_sweep.py")
+#: The ``--smoke`` subset: fast benches covering the sweep service, the
+#: process-pool/EvalContext layer, and the columnar result path this
+#: harness exists to track.
+SMOKE_BENCHES = (
+    "bench_sweep_service.py",
+    "bench_procpool_sweep.py",
+    "bench_columnar_results.py",
+)
 
 #: Fields every per-bench entry must carry, with their types.
 _BENCH_FIELDS: dict[str, type] = {

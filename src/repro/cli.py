@@ -67,12 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="evaluate sweep points on N workers (default 1; "
                           "results are bit-identical to serial runs)")
     run.add_argument("--backend", choices=("serial", "thread", "process", "vector"),
-                     default="thread",
-                     help="sweep worker pool: 'thread' (default) shares the "
+                     default="vector",
+                     help="sweep worker pool: 'vector' (default) batches "
+                          "eligible points through the NumPy kernels and "
+                          "keeps results columnar, 'thread' shares the "
                           "memo cache, 'process' scales cold grids across "
-                          "cores, 'serial' forces inline evaluation, "
-                          "'vector' batches eligible points through the "
-                          "NumPy kernels (bit-identical to serial)")
+                          "cores, 'serial' forces inline evaluation "
+                          "(all bit-identical)")
     run.add_argument("--cache-dir", metavar="PATH", default=None,
                      help="persist evaluation results under PATH and reuse "
                           "them across runs")
@@ -180,7 +181,7 @@ def _cmd_list() -> int:
 def _cmd_run(
     experiment_ids: Sequence[str],
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
     cache_dir: str | None = None,
     metrics: bool = False,
     output: str | None = None,

@@ -49,22 +49,72 @@ class SweepError(SimulationError):
 class GridPointError(SweepError):
     """One point of a batched grid evaluation failed.
 
-    Batched evaluation (``EvaluationService.evaluate_grid``) loses the
-    caller's per-point framing, so the service reports *which* input
-    index failed; the sweep backends map the index back to a point label
-    for their :class:`SweepError` message.
+    Batched evaluation (``EvaluationService.evaluate_grid_columns``)
+    loses the caller's per-point framing, so the service reports *which*
+    input index failed — and, when the sweep backends supply them, the
+    point's label and the grid's name, so the message reads the same
+    whether the failure surfaced inline or inside a worker process.
+
+    ``partial`` preserves the ``ResultColumns`` batch of every point
+    that completed before the failure (in ``points`` order), so callers
+    paying for a long sweep keep what was already computed. It crosses
+    the process-pool pickle boundary with the exception.
     """
 
-    def __init__(self, index: int, original: Exception) -> None:
-        super().__init__(f"grid point {index} failed: {original}")
+    def __init__(
+        self,
+        index: int,
+        original: Exception,
+        *,
+        label: "str | None" = None,
+        grid: "str | None" = None,
+        partial: "object | None" = None,
+    ) -> None:
+        if grid is not None and label is not None:
+            message = f"sweep {grid!r} point {label!r} failed: {original}"
+        else:
+            message = f"grid point {index} failed: {original}"
+        super().__init__(message)
         #: Index into the ``points`` sequence passed to ``evaluate_grid``.
         self.index = index
         #: The exception the point's evaluation raised.
         self.original = original
+        #: Label of the failing point, when the caller framed points.
+        self.label = label
+        #: Name of the grid being swept, when the caller framed it.
+        self.grid = grid
+        #: ``ResultColumns`` of the points completed before the failure.
+        self.partial = partial
+
+    def __reduce__(self):
+        # The default exception reduce replays ``__init__(*args)`` with
+        # the stored ``args`` — the formatted message string — which
+        # does not match this signature. Rebuild from the real fields so
+        # the error survives the process-pool boundary intact.
+        return (
+            _rebuild_grid_point_error,
+            (self.index, self.original, self.label, self.grid, self.partial),
+        )
+
+
+def _rebuild_grid_point_error(
+    index: int,
+    original: Exception,
+    label: "str | None",
+    grid: "str | None",
+    partial: "object | None",
+) -> GridPointError:
+    """Unpickle helper for :class:`GridPointError` (see ``__reduce__``)."""
+    return GridPointError(index, original, label=label, grid=grid, partial=partial)
 
 
 class SchemaError(ReproError):
-    """A benchmark table schema was violated (bad column, wrong dtype)."""
+    """A structured payload violated its schema (bad column, wrong dtype).
+
+    Raised for benchmark tables and for on-disk cache payloads whose
+    declared schema or column shapes do not line up; the disk cache maps
+    it to a miss rather than serving a half-valid result.
+    """
 
 
 class QueryError(ReproError):

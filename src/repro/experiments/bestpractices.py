@@ -16,7 +16,7 @@ from repro.memsim import BandwidthModel
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(

@@ -27,7 +27,7 @@ def evaluate_grid(
     *,
     directory: DirectoryState | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> dict[str, float]:
     """Evaluate every sweep point; returns {label: total GB/s}.
 
@@ -35,8 +35,11 @@ def evaluate_grid(
     :class:`DirectoryState` (not by mutating the model), so far-access
     points reflect steady-state behaviour and the call leaves no state
     behind; experiments that specifically study the cold path (Fig. 5)
-    pass their own state values. ``jobs``/``backend`` fan points out
-    across a thread or process pool with bit-identical results.
+    pass their own state values. The default ``"vector"`` backend keeps
+    results columnar end-to-end — the totals are read straight off the
+    batch, no per-point result object exists anywhere — and is
+    bit-identical to the per-point backends; ``jobs``/``backend`` fan
+    points out across a thread or process pool instead.
     """
     if directory is None:
         directory = DirectoryState.warm(model.topology)

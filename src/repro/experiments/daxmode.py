@@ -18,7 +18,7 @@ from repro.units import GIB
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="daxmode", title="devdax vs fsdax (§2.3)")

@@ -24,7 +24,7 @@ from repro.workloads import MULTISOCKET_READ_LABELS, multisocket_read_scenarios
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(

@@ -37,7 +37,7 @@ def boomerang_cells(rows: dict[str, dict[str, float]], threshold: float = 10.0):
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(

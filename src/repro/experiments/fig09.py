@@ -16,7 +16,7 @@ from repro.workloads import pinning_sweep
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     grid = pinning_sweep(Op.WRITE)

@@ -17,7 +17,7 @@ from repro.workloads import MULTISOCKET_WRITE_LABELS, multisocket_write_scenario
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     grid = multisocket_write_scenarios()

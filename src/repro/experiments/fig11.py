@@ -17,7 +17,7 @@ from repro.workloads.mixed import PAPER_READ_COUNTS, PAPER_WRITE_COUNTS
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="fig11", title="Mixed workload performance")

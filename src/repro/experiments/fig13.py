@@ -17,7 +17,7 @@ from repro.workloads import random_sweep
 def run(
     model: BandwidthModel | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     model = model_or_default(model)
     result = ExperimentResult(exp_id="fig13", title="Random write bandwidth (PMEM/DRAM)")

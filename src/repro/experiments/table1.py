@@ -17,7 +17,7 @@ def run(
     model: BandwidthModel | None = None,
     runner: SsbRunner | None = None,
     jobs: int = 1,
-    backend: str = "thread",
+    backend: str = "vector",
 ) -> ExperimentResult:
     runner = runner if runner is not None else SsbRunner(model=model)
     result = ExperimentResult(

@@ -7,6 +7,15 @@ against one shared :class:`~repro.memsim.context.EvalContext`, so this
 module lays the points out structure-of-arrays — one array per stream
 attribute — and runs the chain once over the batch.
 
+Results *stay* structure-of-arrays: the native product of every kernel
+here is a :class:`~repro.memsim.kernels.columns.ResultColumns` batch,
+and per-point :class:`~repro.memsim.evaluation.BandwidthResult` objects
+exist only as lazy views built on demand. Materializing the three result
+objects per point used to cost ~4.7 µs under a ~25-30 µs scalar
+baseline — the dominant term once the arithmetic was batched — so the
+columnar path is what the sweep service, process pool, disk cache, and
+experiment consumers all move between themselves.
+
 **Bit-identity contract.** Every elementwise float64 add, subtract,
 multiply, divide, minimum and maximum is correctly rounded under
 IEEE-754, so applying the *same operations in the same order* across an
@@ -21,7 +30,10 @@ would break that and are therefore kept scalar:
   :class:`~repro.memsim.buffers.WriteCombiningModel` method the scalar
   evaluator calls — and scattered into the arrays.
 * branches — selected with boolean masks (``np.where``) between
-  sub-expressions that each mirror one scalar branch exactly.
+  sub-expressions that each mirror one scalar branch exactly. The
+  counter columns reuse the same device: ``app_bytes_read`` is
+  ``np.where(is_read, volume, 0.0)``, a pure selection of floats the
+  scalar path computes identically.
 
 **Eligibility.** The fast path covers the shape that dominates the
 paper's sweeps: a single near sequential stream, pinned, on devdax PMEM
@@ -43,8 +55,7 @@ from repro.memsim.address import DaxMode
 from repro.memsim.config import DirectoryState
 from repro.memsim.constants import INTERLEAVE_SIZE, OPTANE_LINE
 from repro.memsim.context import EvalContext
-from repro.memsim.counters import PerfCounters
-from repro.memsim.evaluation import BandwidthResult, StreamResult
+from repro.memsim.kernels.columns import ResultColumns
 from repro.memsim.scheduler import PinningPolicy
 from repro.memsim.spec import Layout, Op, Pattern, StreamSpec
 from repro.memsim.topology import MediaKind
@@ -54,12 +65,15 @@ if TYPE_CHECKING:
     from typing import Callable
 
     from repro.memsim.config import MachineConfig
+    from repro.memsim.evaluation import BandwidthResult
     from repro.obs import Recorder
 
 __all__ = [
     "evaluate_batch",
+    "evaluate_batch_columns",
     "evaluate_batch_deferred",
     "evaluate_grid",
+    "evaluate_grid_columns",
     "vector_eligible",
 ]
 
@@ -94,29 +108,54 @@ def vector_eligible(ctx: EvalContext, streams: tuple[StreamSpec, ...]) -> bool:
     return spec.media is MediaKind.DRAM
 
 
+def evaluate_batch_columns(
+    ctx: EvalContext,
+    specs: Sequence[StreamSpec],
+    directory: DirectoryState,
+) -> "tuple[ResultColumns, Callable[[Recorder, int], None]]":
+    """Evaluate eligible single-stream points into one column batch.
+
+    Every ``(spec,)`` must satisfy :func:`vector_eligible`; callers that
+    cannot guarantee that should use :func:`evaluate_grid_columns`
+    instead. Row ``i`` of the returned batch is bit-identical to
+    per-point :func:`repro.memsim.evaluation.evaluate` of ``specs[i]``.
+
+    Observability emission is left to the caller: the second element is
+    ``emit(recorder, i)``, which replays point ``i``'s evaluation probes
+    straight from the columns (no view is materialized). Grid evaluators
+    interleave these emissions with scalar fallback evaluations *in
+    point order*: float addition is order-sensitive at the last ulp, so
+    recorder counters must accumulate in exactly the per-point order.
+    """
+    if not specs:
+        return ResultColumns(), lambda recorder, i: None
+    columns, write_amp = _evaluate_columns(ctx, specs, directory)
+
+    def emit(recorder: "Recorder", i: int) -> None:
+        _emit_point(recorder, ctx.config, columns, i, write_amp[i], directory)
+
+    return columns, emit
+
+
 def evaluate_batch(
     ctx: EvalContext,
     specs: Sequence[StreamSpec],
     directory: DirectoryState,
     *,
     recorder: "Recorder | None" = None,
-) -> list[BandwidthResult]:
-    """Evaluate eligible single-stream points in one structure-of-arrays pass.
+) -> "list[BandwidthResult]":
+    """:func:`evaluate_batch_columns` materialized to per-point results.
 
-    Every ``(spec,)`` must satisfy :func:`vector_eligible`; callers that
-    cannot guarantee that should use :func:`evaluate_grid` instead.
-    Results are bit-identical to per-point
-    :func:`repro.memsim.evaluation.evaluate` with the same arguments.
+    Compatibility wrapper for callers that want objects; batch-native
+    consumers should take the columns directly.
     """
     if not specs:
         return []
-    results, out = _evaluate_columns(ctx, specs, directory)
+    columns, emit = evaluate_batch_columns(ctx, specs, directory)
     if recorder is not None and recorder.enabled:
-        for i, result in enumerate(results):
-            _emit_point(
-                recorder, ctx.config, specs[i], result, out.write_amp[i], directory
-            )
-    return results
+        for i in range(len(columns)):
+            emit(recorder, i)
+    return columns.views()
 
 
 def evaluate_batch_deferred(
@@ -124,32 +163,27 @@ def evaluate_batch_deferred(
     specs: Sequence[StreamSpec],
     directory: DirectoryState,
 ) -> "tuple[list[BandwidthResult], Callable[[Recorder, int], None]]":
-    """:func:`evaluate_batch` with observability emission left to the caller.
+    """:func:`evaluate_batch` with emission left to the caller.
 
-    Returns the results plus ``emit(recorder, i)``, which replays point
-    ``i``'s evaluation probes. Grid evaluators use this to interleave
-    batched-point emissions with scalar fallback evaluations *in point
-    order*: float addition is order-sensitive at the last ulp, so
-    recorder counters must accumulate in exactly the per-point order.
+    Compatibility wrapper over :func:`evaluate_batch_columns` returning
+    materialized views plus the same ``emit(recorder, i)`` callable.
     """
     if not specs:
         return [], lambda recorder, i: None
-    results, out = _evaluate_columns(ctx, specs, directory)
-
-    def emit(recorder: "Recorder", i: int) -> None:
-        _emit_point(
-            recorder, ctx.config, specs[i], results[i], out.write_amp[i], directory
-        )
-
-    return results, emit
+    columns, emit = evaluate_batch_columns(ctx, specs, directory)
+    return columns.views(), emit
 
 
 def _evaluate_columns(
     ctx: EvalContext,
     specs: Sequence[StreamSpec],
     directory: DirectoryState,
-) -> "tuple[list[BandwidthResult], _Columns]":
-    """The batch pass itself: results plus the intermediate columns."""
+) -> "tuple[ResultColumns, list[float]]":
+    """The batch pass itself: the column batch plus per-point write amp.
+
+    Write amplification is emitted to recorders but is not part of a
+    result, so it rides alongside the batch rather than inside it.
+    """
     cal = ctx.config.calibration
     parts = ctx.components
     prefetcher = parts.prefetcher
@@ -328,24 +362,46 @@ def _evaluate_columns(
             is_pmem & (write_amp > 1.0), volume * (write_amp - 1.0), 0.0
         ))
         media_written = np.where(is_read, 0.0, volume * write_amp)
+        # Counter columns are mask selections over the arrays above —
+        # the same ``x if read else 0.0`` split the scalar collector
+        # performs, applied to identical floats.
+        zeros = np.zeros(n, dtype=np.float64)
+        app_read = np.where(is_read, volume, zeros)
+        app_written = np.where(is_read, zeros, volume)
+        rpq = np.where(is_read, occupancy, zeros)
+        wpq = np.where(is_read, zeros, occupancy)
 
-    out = _Columns(
-        gbps=gbps.tolist(),
-        solo_gbps=solo_gbps.tolist(),
-        write_amp=write_amp.tolist(),
-        volume=volume.tolist(),
-        media_read=media_read.tolist(),
-        media_written=media_written.tolist(),
-        occupancy=occupancy.tolist(),
-    )
-    return _materialize(ctx, specs, directory, out), out
+    # Assemble the batch column-by-column: eligible points are
+    # single-stream (offsets are just ``range``), take no note-producing
+    # branches, touch no UPI link or page-fault path, and leave the
+    # directory untouched.
+    out = ResultColumns()
+    out.offsets = list(range(n + 1))
+    out.specs = list(specs)
+    out.gbps = gbps.tolist()
+    out.solo_gbps = solo_gbps.tolist()
+    out.stream_notes = [()] * n
+    out.app_bytes_read = app_read.tolist()
+    out.app_bytes_written = app_written.tolist()
+    out.media_bytes_read = media_read.tolist()
+    out.media_bytes_written = media_written.tolist()
+    out.upi_bytes = [0.0] * n
+    out.upi_utilization = [0.0] * n
+    out.page_faults = [0] * n
+    out.page_fault_seconds = [0.0] * n
+    out.rpq_occupancy = rpq.tolist()
+    out.wpq_occupancy = wpq.tolist()
+    out.counter_notes = [()] * n
+    out.directory_after = [directory] * n
+    out._views = [None] * n
+    return out, write_amp.tolist()
 
 
 def _emit_point(
     recorder: "Recorder",
     config: "MachineConfig",
-    spec: StreamSpec,
-    result: BandwidthResult,
+    columns: ResultColumns,
+    i: int,
     write_amp: float,
     directory: DirectoryState,
 ) -> None:
@@ -353,31 +409,20 @@ def _emit_point(
 
     Eligible points are never far, so the directory is unchanged and the
     sequential read amplification is identically 1.0 (buffers.py §3.1).
+    Counters are rebuilt from the columns rather than materializing the
+    point's view — emission must not force object materialization.
     """
     from repro.obs import probes
 
-    stream = result.streams[0]
+    row = columns.offsets[i]
     probes.emit_evaluation(
         recorder,
         config,
-        [(spec, stream.gbps, 1.0, write_amp)],
-        result._counters,
+        [(columns.specs[row], columns.gbps[row], 1.0, write_amp)],
+        columns._counters_at(i),
         directory,
         directory,
     )
-
-
-class _Columns:
-    """Plain-float columns extracted from the batch arrays."""
-
-    __slots__ = (
-        "gbps", "solo_gbps", "write_amp", "volume",
-        "media_read", "media_written", "occupancy",
-    )
-
-    def __init__(self, **columns: list[float]) -> None:
-        for name, values in columns.items():
-            setattr(self, name, values)
 
 
 def _write_cap_size_factor(access_size: int) -> float:
@@ -395,80 +440,31 @@ def _write_cap_size_factor(access_size: int) -> float:
     return 1.0
 
 
-def _materialize(
-    ctx: EvalContext,
-    specs: Sequence[StreamSpec],
-    directory: DirectoryState,
-    out: _Columns,
-) -> list[BandwidthResult]:
-    """Build per-point results from the batch columns."""
-    results: list[BandwidthResult] = []
-    append = results.append
-    counters_cls = PerfCounters
-    stream_cls = StreamResult
-    result_cls = BandwidthResult
-    new = object.__new__
-    rebind = object.__setattr__
-    rows = zip(
-        specs, out.gbps, out.solo_gbps,
-        out.volume, out.media_read, out.media_written, out.occupancy,
-    )
-    # The three result objects are built via ``__new__`` plus direct
-    # ``__dict__``/slot stores — the same fast path
-    # :meth:`BandwidthResult.copy` uses — because the dataclass inits are
-    # the dominant cost of materializing a large batch. Counter fields
-    # left at their simple defaults resolve through the class attributes
-    # the dataclass machinery installs, so only ``notes`` (a
-    # ``default_factory`` field) must be stored per instance.
-    for spec, gbps, solo_gbps, vol, media_read, media_written, occ in rows:
-        read = spec.op is Op.READ
-        counters = new(counters_cls)
-        counters.__dict__ = {
-            "app_bytes_read": vol if read else 0.0,
-            "app_bytes_written": 0.0 if read else vol,
-            "media_bytes_read": media_read,
-            "media_bytes_written": media_written,
-            "rpq_occupancy": occ if read else 0.0,
-            "wpq_occupancy": 0.0 if read else occ,
-            "notes": [],
-        }
-        # ``StreamResult`` is frozen, which blocks plain ``__dict__``
-        # rebinding; ``object.__setattr__`` bypasses the frozen guard the
-        # same way the dataclass-generated ``__init__`` itself does.
-        stream = new(stream_cls)
-        rebind(stream, "__dict__", {
-            "spec": spec, "gbps": gbps, "solo_gbps": solo_gbps, "notes": (),
-        })
-        result = new(result_cls)
-        result.streams = (stream,)
-        result._counters = counters
-        result._counters_source = None
-        result.directory_after = directory
-        append(result)
-    return results
-
-
-def evaluate_grid(
+def evaluate_grid_columns(
     context: EvalContext,
     points: Sequence[tuple[StreamSpec, ...] | list[StreamSpec]],
     directory: DirectoryState | None = None,
     *,
     recorder: "Recorder | None" = None,
-) -> list[BandwidthResult]:
-    """Evaluate a whole sweep axis against one shared context.
+) -> ResultColumns:
+    """Evaluate a whole sweep axis into one column batch.
 
     Eligible points (:func:`vector_eligible`) run through the batched
     structure-of-arrays kernel; the rest fall back to per-point
-    :func:`repro.memsim.evaluation.evaluate`. Either way every result is
-    bit-identical to the per-point call, in ``points`` order. A point the
+    :func:`repro.memsim.evaluation.evaluate` and are folded into the
+    batch as rows. Either way row ``i`` is bit-identical to the
+    per-point call for ``points[i]``, in ``points`` order. A point the
     scalar evaluator would reject raises the same error here, from the
     fallback path.
+
+    When every point is eligible — the shape of a dense sweep axis — the
+    kernel's own batch is returned directly: no per-point Python work
+    happens at all beyond the row-building loop.
     """
     state = directory if directory is not None else DirectoryState.cold()
     normalized_points = [
         streams if type(streams) is tuple else tuple(streams) for streams in points
     ]
-    results: list[BandwidthResult | None] = [None] * len(normalized_points)
     batch_indices: list[int] = []
     batch_specs: list[StreamSpec] = []
     socket_ids = context.socket_ids
@@ -500,21 +496,48 @@ def evaluate_grid(
         if eligible:
             batch_indices.append(i)
             batch_specs.append(streams[0])
-    batch_results, emit = evaluate_batch_deferred(context, batch_specs, state)
+    batch_columns, emit = evaluate_batch_columns(context, batch_specs, state)
+    emitting = recorder is not None and recorder.enabled
+    if len(batch_indices) == len(normalized_points):
+        # All-eligible fast path: batch order is point order, so the
+        # kernel's batch *is* the grid result — zero per-point assembly.
+        if emitting:
+            for pos in range(len(batch_indices)):
+                emit(recorder, pos)
+        return batch_columns
     # Fallback points are evaluated — and batched points emitted — in
     # ``points`` order: the per-point path accumulates recorder counters
     # point by point, and float addition is order-sensitive at the last
     # ulp, so matching its emission order is part of bit-identity.
-    emitting = recorder is not None and recorder.enabled
+    out = ResultColumns()
     pos = 0
     for i, streams in enumerate(normalized_points):
         if pos < len(batch_indices) and batch_indices[pos] == i:
             if emitting:
                 emit(recorder, pos)
-            results[i] = batch_results[pos]
+            out.append_from(batch_columns, pos)
             pos += 1
         else:
-            results[i] = evaluation.evaluate(
-                config, streams, state, recorder=recorder, context=context
+            out.append_result(
+                evaluation.evaluate(
+                    config, streams, state, recorder=recorder, context=context
+                )
             )
-    return results  # type: ignore[return-value]
+    return out
+
+
+def evaluate_grid(
+    context: EvalContext,
+    points: Sequence[tuple[StreamSpec, ...] | list[StreamSpec]],
+    directory: DirectoryState | None = None,
+    *,
+    recorder: "Recorder | None" = None,
+) -> "list[BandwidthResult]":
+    """:func:`evaluate_grid_columns` materialized to per-point results.
+
+    Compatibility wrapper; batch-native consumers should take the
+    columns directly and materialize views only where needed.
+    """
+    return evaluate_grid_columns(
+        context, points, directory, recorder=recorder
+    ).views()

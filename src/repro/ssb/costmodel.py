@@ -19,6 +19,12 @@ exist anywhere):
 CPU time uses one calibrated constant (ns per weighted tuple); each
 operator phase costs ``max(cpu, memory)`` (computation overlaps memory
 within an operator) and phases add up.
+
+Each :meth:`SsbCostModel.price` pass first collects every distinct
+stream tuple its phases will ask for and evaluates them in **one**
+columnar grid call (:meth:`~repro.sweep.service.EvaluationService.
+evaluate_grid_columns`); totals are read straight off the column batch,
+bit-identical to per-point evaluation.
 """
 
 from __future__ import annotations
@@ -125,21 +131,28 @@ class SsbCostModel:
         # model (the cold path is Fig. 5's subject, not SSB's).
         self._directory = DirectoryState.warm(self.config.topology)
         self.cpu_seconds_per_tuple = cpu_seconds_per_tuple
+        # Totals primed by price(): one batched columnar evaluation per
+        # pricing pass reads every bandwidth this model will ask for
+        # straight off the column batch (no per-point result object).
+        self._primed: dict[tuple[StreamSpec, ...], float] = {}
 
     def _gbps(self, streams: list[StreamSpec]) -> float:
         """Steady-state bandwidth of ``streams`` through the service."""
+        key = tuple(streams)
+        primed = self._primed.get(key)
+        if primed is not None:
+            return primed
         return self.service.evaluate(
-            self.config, tuple(streams), self._directory
+            self.config, key, self._directory
         ).total_gbps
 
     # ------------------------------------------------------------------
     # effective bandwidths
     # ------------------------------------------------------------------
 
-    def scan_gbps(self, profile: SystemProfile) -> float:
-        """Sequential table-scan bandwidth of the deployment, GB/s."""
-        if profile.tables_on_ssd:
-            return self.config.calibration.ssd.seq_read_max
+    @staticmethod
+    def _scan_streams(profile: SystemProfile) -> list[StreamSpec]:
+        """Stream tuple behind :meth:`scan_gbps` (PMEM/DRAM profiles)."""
         base = dict(
             op=Op.READ,
             threads=profile.threads_per_socket,
@@ -166,7 +179,53 @@ class SsbCostModel:
                 StreamSpec(**half, issuing_socket=1, target_socket=1),
                 StreamSpec(**half, issuing_socket=1, target_socket=0),
             ]
-        return self._gbps(streams)
+        return streams
+
+    @staticmethod
+    def _random_streams(
+        profile: SystemProfile,
+        access_size: int,
+        region_bytes: float,
+        media: MediaKind,
+    ) -> list[StreamSpec]:
+        """Stream tuple behind :meth:`random_read_gbps` (one socket)."""
+        region = max(int(region_bytes), access_size) if region_bytes else 2 * GIB
+        return [
+            StreamSpec(
+                op=Op.READ,
+                threads=profile.threads_per_socket,
+                access_size=access_size,
+                media=media,
+                pattern=Pattern.RANDOM,
+                region_bytes=region,
+            )
+        ]
+
+    @staticmethod
+    def _write_streams(profile: SystemProfile) -> list[StreamSpec]:
+        """Stream tuple behind :meth:`write_gbps` (one socket)."""
+        media = profile.effective_index_media
+        if profile.pmem_aware and media is MediaKind.PMEM:
+            # Best practice 2: cap write threads at 4-6 per socket.
+            threads = min(6, profile.threads_per_socket)
+        else:
+            threads = profile.threads_per_socket
+        return [
+            StreamSpec(
+                op=Op.WRITE,
+                threads=threads,
+                access_size=4096,
+                media=media,
+                pinning=profile.pinning,
+                dax_mode=profile.dax_mode,
+            )
+        ]
+
+    def scan_gbps(self, profile: SystemProfile) -> float:
+        """Sequential table-scan bandwidth of the deployment, GB/s."""
+        if profile.tables_on_ssd:
+            return self.config.calibration.ssd.seq_read_max
+        return self._gbps(self._scan_streams(profile))
 
     def random_read_gbps(
         self,
@@ -182,18 +241,8 @@ class SsbCostModel:
         """
         if media is None:
             media = profile.effective_index_media
-        region = max(int(region_bytes), access_size) if region_bytes else 2 * GIB
         per_socket = self._gbps(
-            [
-                StreamSpec(
-                    op=Op.READ,
-                    threads=profile.threads_per_socket,
-                    access_size=access_size,
-                    media=media,
-                    pattern=Pattern.RANDOM,
-                    region_bytes=region,
-                )
-            ]
+            self._random_streams(profile, access_size, region_bytes, media)
         )
         if media is MediaKind.PMEM and profile.dax_mode.value == "fsdax":
             per_socket /= 1.075
@@ -225,24 +274,7 @@ class SsbCostModel:
 
     def write_gbps(self, profile: SystemProfile) -> float:
         """Intermediate-write bandwidth of the deployment, GB/s."""
-        media = profile.effective_index_media
-        if profile.pmem_aware and media is MediaKind.PMEM:
-            # Best practice 2: cap write threads at 4-6 per socket.
-            threads = min(6, profile.threads_per_socket)
-        else:
-            threads = profile.threads_per_socket
-        per_socket = self._gbps(
-            [
-                StreamSpec(
-                    op=Op.WRITE,
-                    threads=threads,
-                    access_size=4096,
-                    media=media,
-                    pinning=profile.pinning,
-                    dax_mode=profile.dax_mode,
-                )
-            ]
-        )
+        per_socket = self._gbps(self._write_streams(profile))
         return per_socket * (profile.sockets if profile.numa_aware else 1)
 
     # ------------------------------------------------------------------
@@ -271,6 +303,73 @@ class SsbCostModel:
     # pricing
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _probe_media(
+        operator: OperatorTraffic, profile: SystemProfile
+    ) -> MediaKind:
+        """Medium an operator's random probes hit.
+
+        Gathers into the fact table hit the base-table medium; index
+        probes hit the (possibly hybrid) index medium.
+        """
+        if operator.region_table == "lineorder" and not profile.tables_on_ssd:
+            return profile.media
+        return profile.effective_index_media
+
+    def _prime(self, traffic: QueryTraffic, profile: SystemProfile) -> None:
+        """Batch-evaluate every bandwidth this pricing pass will need.
+
+        One columnar grid evaluation covers the whole pass: the distinct
+        stream tuples behind :meth:`scan_gbps`, :meth:`random_read_gbps`,
+        and :meth:`write_gbps` are collected from the traffic and priced
+        in a single :meth:`~repro.sweep.service.EvaluationService.
+        evaluate_grid_columns` call, and the totals are read straight off
+        the column batch — no per-point result object exists. The primed
+        totals are bit-identical to the scalar path (same floats summed
+        in the same order), so the public per-bandwidth methods stay
+        exact whether or not a pass primed them first.
+        """
+        wanted: list[tuple[StreamSpec, ...]] = []
+
+        def want(streams: list[StreamSpec]) -> None:
+            key = tuple(streams)
+            if key not in self._primed and key not in wanted:
+                wanted.append(key)
+
+        needs_write = False
+        for operator in traffic.operators:
+            if operator.seq_read_bytes and not profile.tables_on_ssd:
+                want(self._scan_streams(profile))
+            if operator.random_reads and (
+                self.resident_fraction(profile, operator.random_region_bytes)
+                < 1.0
+            ):
+                want(
+                    self._random_streams(
+                        profile,
+                        operator.random_read_size,
+                        operator.random_region_bytes,
+                        self._probe_media(operator, profile),
+                    )
+                )
+            if operator.seq_write_bytes or operator.random_write_bytes:
+                needs_write = True
+        if needs_write:
+            want(self._write_streams(profile))
+        if not wanted:
+            return
+        try:
+            columns = self.service.evaluate_grid_columns(
+                self.config, wanted, self._directory
+            )
+        except Exception:
+            # Priming is purely an optimisation: if any point fails, let
+            # the scalar pricing path surface the original error with its
+            # own type and attribution.
+            return
+        for row, key in enumerate(wanted):
+            self._primed[key] = columns.point_total_gbps(row)
+
     def _phase(
         self, operator: OperatorTraffic, profile: SystemProfile
     ) -> PhaseCost:
@@ -283,19 +382,11 @@ class SsbCostModel:
         if operator.random_reads:
             resident = self.resident_fraction(profile, operator.random_region_bytes)
             if resident < 1.0:
-                # Gathers into the fact table hit the base-table medium;
-                # index probes hit the (possibly hybrid) index medium.
-                target = (
-                    profile.media
-                    if operator.region_table == "lineorder"
-                    and not profile.tables_on_ssd
-                    else None
-                )
                 bandwidth = self.random_read_gbps(
                     profile,
                     operator.random_read_size,
                     operator.random_region_bytes,
-                    media=target,
+                    media=self._probe_media(operator, profile),
                 )
                 memory_seconds += (
                     operator.random_read_bytes * (1.0 - resident) / (bandwidth * GB)
@@ -345,6 +436,9 @@ class SsbCostModel:
             scaled = traffic.scaled(scale_ratio, region_factors)
         else:
             scaled = traffic
+        # One columnar batch covers every bandwidth the phases below ask
+        # for; the phase loop then reads primed totals, never results.
+        self._prime(scaled, profile)
         breakdown = CostBreakdown(query=traffic.query, profile=profile.name)
         for operator in scaled.operators:
             breakdown.phases.append(self._phase(operator, profile))

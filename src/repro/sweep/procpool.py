@@ -44,9 +44,10 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
-from repro.errors import SweepError
+from repro.errors import GridPointError, SweepError
 from repro.memsim.config import DirectoryState, MachineConfig
 from repro.memsim.evaluation import BandwidthResult
+from repro.memsim.kernels import ResultColumns
 from repro.obs import (
     NULL_RECORDER,
     CountersRecorder,
@@ -55,7 +56,7 @@ from repro.obs import (
     set_default_recorder,
 )
 from repro.sweep.cache import DiskCache
-from repro.sweep.service import EvaluationService, GridPointError
+from repro.sweep.service import EvaluationService
 from repro.workloads.grids import SweepGrid, SweepPoint
 
 #: Target chunks per worker. More chunks balance load better when some
@@ -76,7 +77,6 @@ class _WorkerState:
     grid_name: str
     service: EvaluationService
     observing: bool
-    vector: bool
 
 
 def _init_worker(
@@ -85,7 +85,6 @@ def _init_worker(
     grid_name: str,
     cache_root: str | None,
     observing: bool,
-    vector: bool,
 ) -> None:
     """Pool initializer: build this worker's service and pin the inputs."""
     global _WORKER
@@ -99,8 +98,43 @@ def _init_worker(
         grid_name=grid_name,
         service=EvaluationService(disk_cache=disk),
         observing=observing,
-        vector=vector,
     )
+
+
+def _run_chunk_columns(
+    points: tuple[SweepPoint, ...],
+) -> tuple[ResultColumns, dict[str, object] | None, tuple[int, int, int]]:
+    """Evaluate one chunk batched; return columns, snapshot, stats delta.
+
+    The chunk's results cross back to the parent as one pickled column
+    block — structure-of-arrays over the wire, never an object list. A
+    failing point raises :class:`~repro.errors.GridPointError` with the
+    chunk-local index and partial batch; it pickles intact (the parent
+    rebases both to the whole grid).
+    """
+    worker = _WORKER
+    if worker is None:  # pragma: no cover - initializer always runs first
+        raise SweepError("process-pool worker used before initialization")
+    rec = CountersRecorder() if worker.observing else None
+    sink: Recorder = rec if rec is not None else NULL_RECORDER
+    stats = worker.service.stats
+    hits0, misses0, disk0 = stats.hits, stats.misses, stats.disk_hits
+    started = time.perf_counter() if rec is not None else 0.0
+    columns = worker.service.evaluate_grid_columns(
+        worker.config,
+        [point.streams for point in points],
+        worker.directory,
+        recorder=sink,
+        labels=[point.label for point in points],
+        grid_name=worker.grid_name,
+    )
+    if rec is not None:
+        rec.incr("sweep.points_count", len(points))
+        mean = (time.perf_counter() - started) / len(points)
+        for _ in points:
+            rec.observe("sweep.point.wall_seconds", mean)
+    delta = (stats.hits - hits0, stats.misses - misses0, stats.disk_hits - disk0)
+    return columns, (rec.snapshot() if rec is not None else None), delta
 
 
 def _run_chunk(
@@ -119,33 +153,6 @@ def _run_chunk(
     stats = worker.service.stats
     hits0, misses0, disk0 = stats.hits, stats.misses, stats.disk_hits
     results: list[tuple[str, BandwidthResult]] = []
-    if worker.vector:
-        started = time.perf_counter() if rec is not None else 0.0
-        try:
-            outcomes = worker.service.evaluate_grid(
-                worker.config,
-                [point.streams for point in points],
-                worker.directory,
-                recorder=sink,
-            )
-        except GridPointError as exc:
-            # Chains do not survive pickling back to the parent (see the
-            # scalar loop below); embed the original error's text.
-            point = points[exc.index]
-            raise SweepError(
-                f"sweep {worker.grid_name!r} point {point.label!r} failed: "
-                f"{exc.original}"
-            ) from exc
-        if rec is not None:
-            rec.incr("sweep.points_count", len(points))
-            mean = (time.perf_counter() - started) / len(points)
-            for _ in points:
-                rec.observe("sweep.point.wall_seconds", mean)
-        results.extend(
-            (point.label, result) for point, result in zip(points, outcomes)
-        )
-        delta = (stats.hits - hits0, stats.misses - misses0, stats.disk_hits - disk0)
-        return results, (rec.snapshot() if rec is not None else None), delta
     for point in points:
         started = time.perf_counter() if rec is not None else 0.0
         try:
@@ -186,17 +193,15 @@ def run_grid(
     jobs: int,
     service: EvaluationService,
     recorder: Recorder,
-    vector: bool = False,
 ) -> dict[str, BandwidthResult]:
     """Evaluate ``points`` across a process pool; ``{label: result}``.
 
     The returned dict is in grid order and bit-identical to the serial
     path. Worker counters and cache statistics are folded into
     ``recorder`` and ``service.stats`` so observability reflects the
-    whole sweep, not just the parent process. With ``vector=True`` each
-    worker evaluates its chunk through the service's batched kernel
-    (:meth:`~repro.sweep.service.EvaluationService.evaluate_grid`)
-    instead of point-at-a-time.
+    whole sweep, not just the parent process. The vector backend goes
+    through :func:`run_grid_columns` instead, which ships column blocks
+    rather than object lists.
     """
     observing = recorder.enabled
     disk = service.disk_cache
@@ -205,7 +210,7 @@ def run_grid(
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
-        initargs=(config, directory, grid.name, cache_root, observing, vector),
+        initargs=(config, directory, grid.name, cache_root, observing),
     ) as pool:
         futures = [pool.submit(_run_chunk, chunk) for chunk in _chunked(points, jobs)]
         try:
@@ -235,3 +240,85 @@ def run_grid(
                 f"sweep {grid.name!r} failed in a worker process: {exc}"
             ) from exc
     return {point.label: merged[point.label] for point in points}
+
+
+def run_grid_columns(
+    grid: SweepGrid,
+    points: list[SweepPoint],
+    *,
+    config: MachineConfig,
+    directory: DirectoryState,
+    jobs: int,
+    service: EvaluationService,
+    recorder: Recorder,
+) -> tuple[list[str], ResultColumns]:
+    """Evaluate ``points`` across a process pool into one column batch.
+
+    Each worker evaluates its chunk through the service's batched
+    columnar evaluator and ships the chunk back as a single pickled
+    column block; the parent concatenates blocks in submission order ==
+    grid order, so the batch is bit-identical to serial. Counters and
+    cache statistics fold into ``recorder``/``service.stats`` exactly as
+    :func:`run_grid` does.
+
+    A poisoned point surfaces as a
+    :class:`~repro.errors.GridPointError` whose index and partial batch
+    are rebased from the failing chunk to the whole grid: the partial
+    holds every point of the chunks fully merged before the failure plus
+    the failing chunk's own completed prefix.
+    """
+    observing = recorder.enabled
+    disk = service.disk_cache
+    cache_root = str(disk.root) if disk is not None else None
+    out = ResultColumns()
+    chunks = _chunked(points, jobs)
+    base = 0
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(config, directory, grid.name, cache_root, observing),
+    ) as pool:
+        futures = [pool.submit(_run_chunk_columns, chunk) for chunk in chunks]
+        try:
+            # Futures are consumed in submission order == grid order, so
+            # the first error surfaced is the first poisoned point, same
+            # as serial execution — and ``base``/``out`` describe exactly
+            # the grid prefix completed before it.
+            for chunk, future in zip(chunks, futures):
+                columns, snapshot, (hits, misses, disk_hits) = future.result()
+                out.extend(columns)
+                if snapshot is not None:
+                    merge_snapshot(recorder, snapshot)
+                service.stats.hits += hits
+                service.stats.misses += misses
+                service.stats.disk_hits += disk_hits
+                base += len(chunk)
+        except GridPointError as exc:
+            for pending in futures:
+                pending.cancel()
+            # Chains do not survive pickling, so the worker's error is
+            # already self-contained; rebase its chunk-local index and
+            # partial batch onto the grid.
+            if isinstance(exc.partial, ResultColumns):
+                out.extend(exc.partial)
+            raise GridPointError(
+                base + exc.index,
+                exc.original,
+                label=exc.label,
+                grid=exc.grid,
+                partial=out,
+            ) from exc
+        except SweepError:
+            for pending in futures:
+                pending.cancel()
+            raise
+        except Exception as exc:
+            # Unpicklable payloads, a worker killed mid-chunk, a broken
+            # pool: surface a chained SweepError instead of a hang or an
+            # anonymous traceback.
+            for pending in futures:
+                pending.cancel()
+            raise SweepError(
+                f"sweep {grid.name!r} failed in a worker process: {exc}"
+            ) from exc
+    return [point.label for point in points], out

@@ -36,13 +36,17 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError, SweepError
 from repro.memsim.config import DirectoryState, MachineConfig, paper_config
 from repro.memsim.evaluation import BandwidthResult
 from repro.obs import Recorder, default_recorder
-from repro.sweep.service import EvaluationService, GridPointError, default_service
+from repro.sweep.service import EvaluationService, default_service
 from repro.workloads.grids import SweepGrid, SweepPoint
+
+if TYPE_CHECKING:
+    from repro.memsim.kernels import ResultColumns
 
 #: Recognised ``SweepRunner`` backends, in documentation order.
 BACKENDS = ("serial", "thread", "process", "vector")
@@ -111,11 +115,27 @@ class SweepRunner:
         rec = self._recorder if self._recorder is not None else default_recorder()
         observing = rec.enabled
 
-        if (
-            self.backend in ("process", "vector")
-            and self.jobs > 1
-            and len(points) > 1
-        ):
+        if self.backend == "vector":
+            # Columnar end-to-end; the object dict is materialized (as
+            # lazy views) only here at the API boundary. Batch-native
+            # callers should use :meth:`run_columns` instead.
+            if self.jobs > 1 and len(points) > 1:
+                from repro.sweep import procpool
+
+                labels, columns = procpool.run_grid_columns(
+                    grid,
+                    points,
+                    config=cfg,
+                    directory=state,
+                    jobs=self.jobs,
+                    service=self.service,
+                    recorder=rec,
+                )
+            else:
+                labels, columns = self._vector_columns(grid, points, cfg, state, rec)
+            return dict(zip(labels, columns.views()))
+
+        if self.backend == "process" and self.jobs > 1 and len(points) > 1:
             # Imported lazily: most sweeps never pay for the
             # concurrent.futures process machinery.
             from repro.sweep import procpool
@@ -128,11 +148,7 @@ class SweepRunner:
                 jobs=self.jobs,
                 service=self.service,
                 recorder=rec,
-                vector=self.backend == "vector",
             )
-
-        if self.backend == "vector":
-            return self._run_vector(grid, points, cfg, state, rec)
 
         def evaluate_point(point: SweepPoint) -> BandwidthResult:
             started = time.perf_counter() if observing else 0.0
@@ -164,29 +180,79 @@ class SweepRunner:
                 results = list(pool.map(evaluate_point, points))
         return {point.label: result for point, result in zip(points, results)}
 
-    def _run_vector(
+    def run_columns(
+        self,
+        grid: SweepGrid,
+        *,
+        config: MachineConfig | None = None,
+        directory: DirectoryState | None = None,
+    ) -> "tuple[list[str], ResultColumns]":
+        """Evaluate every point into one column batch, in grid order.
+
+        The batch-native counterpart of :meth:`run`: with the
+        ``"vector"`` backend no per-point result object is materialized
+        anywhere — the kernel's columns flow through the service (and,
+        with ``jobs > 1``, across the process-pool boundary as column
+        blocks) straight to the caller. The other backends evaluate
+        point-at-a-time as always and columnarize at the end, so every
+        backend returns equal batches (bit-identical floats).
+
+        A failing point raises
+        :class:`~repro.errors.GridPointError` naming the grid and point
+        label and carrying the partial batch of every point completed
+        before the failure.
+        """
+        cfg = config if config is not None else paper_config()
+        state = directory if directory is not None else DirectoryState.cold()
+        points = list(grid)
+        rec = self._recorder if self._recorder is not None else default_recorder()
+
+        if self.backend == "vector":
+            if self.jobs > 1 and len(points) > 1:
+                from repro.sweep import procpool
+
+                return procpool.run_grid_columns(
+                    grid,
+                    points,
+                    config=cfg,
+                    directory=state,
+                    jobs=self.jobs,
+                    service=self.service,
+                    recorder=rec,
+                )
+            return self._vector_columns(grid, points, cfg, state, rec)
+
+        from repro.memsim.kernels import ResultColumns
+
+        results = self.run(grid, config=config, directory=directory)
+        return list(results), ResultColumns.from_results(results.values())
+
+    def _vector_columns(
         self,
         grid: SweepGrid,
         points: list[SweepPoint],
         config: MachineConfig,
         state: DirectoryState,
         rec: Recorder,
-    ) -> dict[str, BandwidthResult]:
-        """Route the whole grid through the service's batched evaluator."""
+    ) -> "tuple[list[str], ResultColumns]":
+        """Route the whole grid through the service's batched evaluator.
+
+        :class:`~repro.errors.GridPointError` propagates as raised by the
+        service — it is a :class:`SweepError` whose message already names
+        the grid and point label (the service is passed both), and it
+        carries the partial batch.
+        """
+        labels = [point.label for point in points]
         observing = rec.enabled
         started = time.perf_counter() if observing else 0.0
-        try:
-            results = self.service.evaluate_grid(
-                config,
-                [point.streams for point in points],
-                state,
-                recorder=rec,
-            )
-        except GridPointError as exc:
-            point = points[exc.index]
-            raise SweepError(
-                f"sweep {grid.name!r} point {point.label!r} failed: {exc.original}"
-            ) from exc.original
+        columns = self.service.evaluate_grid_columns(
+            config,
+            [point.streams for point in points],
+            state,
+            recorder=rec,
+            labels=labels,
+            grid_name=grid.name,
+        )
         if observing and points:
             rec.incr("sweep.points_count", len(points))
             # Batched evaluation has no per-point wall time; spreading the
@@ -195,7 +261,7 @@ class SweepRunner:
             mean = (time.perf_counter() - started) / len(points)
             for _ in points:
                 rec.observe("sweep.point.wall_seconds", mean)
-        return {point.label: result for point, result in zip(points, results)}
+        return labels, columns
 
     def totals(
         self,
@@ -204,7 +270,17 @@ class SweepRunner:
         config: MachineConfig | None = None,
         directory: DirectoryState | None = None,
     ) -> dict[str, float]:
-        """Total bandwidth per point in decimal GB/s, ``{label: GB/s}``."""
+        """Total bandwidth per point in decimal GB/s, ``{label: GB/s}``.
+
+        On the ``"vector"`` backend this reads the totals straight off
+        the column batch — the common consumer path (experiments, the
+        SSB cost model) never materializes a result object.
+        """
+        if self.backend == "vector":
+            labels, columns = self.run_columns(
+                grid, config=config, directory=directory
+            )
+            return dict(zip(labels, columns.total_gbps()))
         return {
             label: result.total_gbps
             for label, result in self.run(

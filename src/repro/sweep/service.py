@@ -20,7 +20,7 @@ full input state still determines the returned
 from __future__ import annotations
 
 import threading
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import GridPointError
 from repro.memsim import evaluation
@@ -28,7 +28,16 @@ from repro.memsim.config import DirectoryState, MachineConfig
 from repro.memsim.evaluation import BandwidthResult, observable_pairs
 from repro.memsim.spec import StreamSpec
 from repro.obs import Recorder, default_recorder
-from repro.sweep.cache import CacheStats, DiskCache, MemoCache, request_digest
+from repro.sweep.cache import (
+    CacheStats,
+    CacheValue,
+    DiskCache,
+    MemoCache,
+    request_digest,
+)
+
+if TYPE_CHECKING:
+    from repro.memsim.kernels import ResultColumns
 
 
 class EvaluationService:
@@ -103,7 +112,7 @@ class EvaluationService:
         digest: str | None = None
         if self._disk is not None:
             digest = request_digest(config, streams, normalized)
-            from_disk = self._disk.get(digest)
+            from_disk = self._disk.get_ref(digest)
             if from_disk is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
@@ -127,28 +136,35 @@ class EvaluationService:
             self._disk.put(digest, result)
         return self._deliver(result, streams, state)
 
-    def evaluate_grid(
+    def evaluate_grid_columns(
         self,
         config: MachineConfig,
         points: Sequence[tuple[StreamSpec, ...] | list[StreamSpec]],
         directory: DirectoryState | None = None,
         *,
         recorder: Recorder | None = None,
-    ) -> list[BandwidthResult]:
-        """Cached, batched equivalent of calling :meth:`evaluate` per point.
+        labels: Sequence[str] | None = None,
+        grid_name: str | None = None,
+    ) -> "ResultColumns":
+        """Cached, batched grid evaluation producing a column batch.
 
         Points that the vectorized analytic kernel covers
         (:func:`repro.memsim.kernels.vector_eligible`) and that miss both
         caches are computed in one structure-of-arrays pass
-        (:func:`repro.memsim.kernels.evaluate_batch`); every other point
-        goes through :meth:`evaluate` unchanged. Results are returned in
-        ``points`` order and are **bit-identical** to the per-point path —
-        cache keys, stored entries, and hit/miss tallies included, so a
-        grid primed through this method services per-point calls (and vice
-        versa) without recomputation.
+        (:func:`repro.memsim.kernels.evaluate_batch_columns`); every
+        other point goes through :meth:`evaluate` unchanged. Rows come
+        back in ``points`` order and are **bit-identical** to the
+        per-point path — cache keys, stored entries, and hit/miss
+        tallies included, so a grid primed through this method services
+        per-point calls (and vice versa) without recomputation. No
+        per-point result object is materialized anywhere on this path:
+        cache hits and batch computes alike move between the caches and
+        the output as column rows.
 
         A failing point raises :class:`GridPointError` carrying the input
-        index, so callers can name the poisoned point. If the batch kernel
+        index (plus the point ``label`` and ``grid_name`` when given, so
+        the message names the poisoned point) and the partial batch of
+        every row completed before the failure. If the batch kernel
         itself fails, the batched points are transparently re-run through
         the scalar path — the error (if it reproduces) is then attributed
         to the exact point that raised it.
@@ -156,21 +172,35 @@ class EvaluationService:
         # Imported lazily (and not at module top) to keep NumPy off the
         # import path of callers that never batch.
         from repro.memsim.context import eval_context
-        from repro.memsim.kernels import evaluate_batch_deferred, vector_eligible
+        from repro.memsim.kernels import (
+            ResultColumns,
+            evaluate_batch_columns,
+            vector_eligible,
+        )
 
         rec = recorder if recorder is not None else default_recorder()
         state = directory if directory is not None else DirectoryState.cold()
         normalized_points = [tuple(streams) for streams in points]
-        results: list[BandwidthResult | None] = [None] * len(normalized_points)
+
+        def fail(index: int, exc: Exception, partial: "ResultColumns") -> GridPointError:
+            label = labels[index] if labels is not None else None
+            return GridPointError(
+                index, exc, label=label, grid=grid_name, partial=partial
+            )
+
         try:
             ctx = eval_context(config)
         except Exception as exc:
             # A config the core rejects fails every point; blame the first.
-            raise GridPointError(0, exc) from exc
+            raise fail(0, exc, ResultColumns()) from exc
 
         # Eligible points can only observe the empty far-read pair set, so
         # they all share one normalized directory (hence one key suffix).
+        # Cache hits are held as (columns, row) references — or plain
+        # results when the per-point path stored them — until the output
+        # assembly loop copies their rows out.
         empty = state.restrict(frozenset())
+        stored: dict[int, CacheValue] = {}
         batch_indices: list[int] = []
         batch_specs: list[StreamSpec] = []
         batch_keys: list[tuple[MachineConfig, tuple[StreamSpec, ...], DirectoryState]] = []
@@ -185,12 +215,12 @@ class EvaluationService:
                 if rec.enabled:
                     rec.incr("sweep.cache.hits_count")
                     rec.event("sweep.cache_hit", source="memo", streams=len(streams))
-                results[i] = self._deliver(cached, streams, state)
+                stored[i] = cached
                 continue
             digest: str | None = None
             if self._disk is not None:
                 digest = request_digest(config, streams, empty)
-                from_disk = self._disk.get(digest)
+                from_disk = self._disk.get_ref(digest)
                 if from_disk is not None:
                     self.stats.hits += 1
                     self.stats.disk_hits += 1
@@ -200,18 +230,18 @@ class EvaluationService:
                         rec.event("sweep.cache_hit", source="disk", streams=len(streams))
                     if self._memo is not None:
                         self._memo.put(key, from_disk)
-                    results[i] = self._deliver(from_disk, streams, state)
+                    stored[i] = from_disk
                     continue
             batch_indices.append(i)
             batch_specs.append(streams[0])
             batch_keys.append(key)
             batch_digests.append(digest)
 
-        computed: list[BandwidthResult] | None = None
+        computed: "ResultColumns | None" = None
         emit = None
         if batch_specs:
             try:
-                computed, emit = evaluate_batch_deferred(ctx, batch_specs, empty)
+                computed, emit = evaluate_batch_columns(ctx, batch_specs, empty)
             except Exception:
                 # The batch kernel failed wholesale. The loop below
                 # re-runs the misses through the scalar path, which
@@ -224,38 +254,74 @@ class EvaluationService:
             self.stats.misses += len(batch_specs)
             if rec.enabled:
                 rec.incr("sweep.cache.misses_count", len(batch_specs))
+            if self._memo is not None:
+                for pos, key in enumerate(batch_keys):
+                    self._memo.put(key, (computed, pos))
+            if self._disk is not None:
+                # One block write for the whole batch — the entries the
+                # per-point path would have written, fused.
+                self._disk.put_columns(
+                    [digest for digest in batch_digests if digest is not None],
+                    computed,
+                )
 
-        # Batched points are stored/emitted — and fallback points
-        # evaluated — in ``points`` order: float addition is
-        # order-sensitive at the last ulp, so recorder counters must
-        # accumulate exactly as the per-point path would.
+        # Batched points are emitted — and fallback points evaluated — in
+        # ``points`` order: float addition is order-sensitive at the last
+        # ulp, so recorder counters must accumulate exactly as the
+        # per-point path would. The output batch is assembled fresh (rows
+        # copied out of cached batches), so annotating a view of the
+        # returned columns can never corrupt a stored entry.
+        out = ResultColumns()
         pos = 0
         for i, streams in enumerate(normalized_points):
-            if results[i] is not None:
-                continue  # cache hit, already delivered
+            hit = stored.get(i)
+            if hit is not None:
+                # Eligible points are never far, so the rebased
+                # ``directory_after`` is exactly the caller's state.
+                if type(hit) is tuple:
+                    columns, row = hit
+                    out.append_from(columns, row, directory_after=state)
+                else:
+                    out.append_result(hit, directory_after=state)
+                continue
             if pos < len(batch_indices) and batch_indices[pos] == i:
-                key, digest = batch_keys[pos], batch_digests[pos]
                 if computed is not None:
-                    result = computed[pos]
                     if rec.enabled and emit is not None:
                         emit(rec, pos)
-                    if self._memo is not None:
-                        self._memo.put(key, result)
-                    if self._disk is not None and digest is not None:
-                        self._disk.put(digest, result)
-                    results[i] = self._deliver(result, streams, state)
+                    out.append_from(computed, pos, directory_after=state)
                     pos += 1
                     continue
                 pos += 1  # batch failed: fall through to the scalar path
             try:
-                results[i] = self.evaluate(config, streams, state, recorder=rec)
+                out.append_result(
+                    self.evaluate(config, streams, state, recorder=rec)
+                )
             except Exception as exc:
-                raise GridPointError(i, exc) from exc
-        return results  # type: ignore[return-value]
+                raise fail(i, exc, out) from exc
+        return out
+
+    def evaluate_grid(
+        self,
+        config: MachineConfig,
+        points: Sequence[tuple[StreamSpec, ...] | list[StreamSpec]],
+        directory: DirectoryState | None = None,
+        *,
+        recorder: Recorder | None = None,
+    ) -> list[BandwidthResult]:
+        """Cached, batched equivalent of calling :meth:`evaluate` per point.
+
+        Compatibility wrapper over :meth:`evaluate_grid_columns`
+        materializing one lazy view per point; batch-native consumers
+        (the sweep runner, experiments, the SSB cost model) should take
+        the columns directly.
+        """
+        return self.evaluate_grid_columns(
+            config, points, directory, recorder=recorder
+        ).views()
 
     @staticmethod
     def _deliver(
-        stored: BandwidthResult,
+        stored: CacheValue,
         streams: tuple[StreamSpec, ...],
         state: DirectoryState,
     ) -> BandwidthResult:
@@ -265,12 +331,17 @@ class EvaluationService:
         the caller's follow-up state must include everything the caller
         already had warm plus this evaluation's far traversals.
 
-        The copy is lazy: it shares the immutable streams, and its
-        counters are materialized only if the caller reads them —
-        repeated memo hits on a large sweep pay one directory rebase and
-        nothing else, and annotating a delivered result's counters can
-        never corrupt the stored entry.
+        ``stored`` may be a ``(columns, row)`` reference into a memoized
+        batch; the row's view is materialized (and cached on the batch)
+        first. Either way the copy is lazy: it shares the immutable
+        streams, and its counters are materialized only if the caller
+        reads them — repeated memo hits on a large sweep pay one
+        directory rebase and nothing else, and annotating a delivered
+        result's counters can never corrupt the stored entry.
         """
+        if type(stored) is tuple:
+            columns, row = stored
+            stored = columns.view(row)
         result = stored.copy()
         after = state
         for stream in streams:

@@ -1,0 +1,30 @@
+"""Fixture: per-point materialization on column batches (SIM108)."""
+
+from repro.memsim.kernels import ResultColumns
+from repro.sweep.service import EvaluationService
+
+service = EvaluationService()
+columns = service.evaluate_grid_columns(object(), [])
+batch = ResultColumns()
+
+total = 0.0
+for view in columns.views():  # SIM108: materializes every point
+    total += view.total_gbps
+
+for row in batch:  # SIM108: row-by-row iteration of a batch
+    total += row.total_gbps
+
+for i in range(4):
+    result = columns.view(i)  # SIM108: .view() inside a loop
+    total += result.total_gbps
+
+peaks = [v.total_gbps for v in batch.views()]  # SIM108: comprehension
+
+# Not flagged: columnar reads, bulk row moves, and a single
+# materialization at the API boundary outside any loop.
+total += sum(columns.total_gbps())
+for gbps in columns.gbps:
+    total += gbps
+batch.extend(columns)
+boundary = columns.views()
+one = columns.view(0)

@@ -246,6 +246,67 @@ class TestVectorizationRules:
         assert [f.rule for f in findings] == ["SIM106"]
 
 
+class TestPointMaterializationRule:
+    def test_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_materialization.py")
+        bad = [f for f in findings if f.rule == "SIM108"]
+        # .views() iteration, batch iteration, .view() in a loop body,
+        # .views() in a comprehension
+        assert {f.line for f in bad} == {11, 14, 18, 21}
+
+    def test_messages_name_the_batch_and_the_fix(self):
+        findings, _ = run_fixture("bad_materialization.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM108")
+        assert "'columns'" in messages
+        assert "'batch'" in messages
+        assert "append_from" in messages
+        assert "API boundary" in messages
+
+    def test_boundary_materialization_not_flagged(self):
+        findings, _ = run_fixture("bad_materialization.py")
+        # Module-level .views()/.view(0) at the API boundary (lines 29-30)
+        # and columnar reads are sanctioned.
+        assert all(f.line <= 21 for f in findings if f.rule == "SIM108")
+
+    def test_tuple_unpack_tracks_the_batch_position(self, tmp_path):
+        source = (
+            "from repro.memsim.kernels import evaluate_batch_columns\n"
+            "columns, emit = evaluate_batch_columns(ctx, specs, state)\n"
+            "labels, out = runner.run_columns(grid)\n"
+            "for v in columns.views():\n"
+            "    pass\n"
+            "for v in out.views():\n"
+            "    pass\n"
+            "for label in labels:\n"
+            "    pass\n"
+        )
+        probe = tmp_path / "probe.py"
+        probe.write_text(source)
+        findings, _ = analyze_file(probe, SimlintConfig(root=tmp_path))
+        assert [(f.rule, f.line) for f in findings if f.rule == "SIM108"] == [
+            ("SIM108", 4),
+            ("SIM108", 6),
+        ]
+
+    def test_out_of_scope_paths_not_flagged(self, tmp_path):
+        scoped = SimlintConfig(root=tmp_path, vector_paths=("repro/sweep",))
+        source = (
+            "columns = service.evaluate_grid_columns(cfg, points)\n"
+            "for v in columns.views():\n"
+            "    pass\n"
+        )
+        outside = tmp_path / "repro" / "experiments"
+        outside.mkdir(parents=True)
+        (outside / "driver.py").write_text(source)
+        findings, _ = analyze_file(outside / "driver.py", scoped)
+        assert findings == []
+        inside = tmp_path / "repro" / "sweep"
+        inside.mkdir(parents=True)
+        (inside / "service.py").write_text(source)
+        findings, _ = analyze_file(inside / "service.py", scoped)
+        assert [f.rule for f in findings] == ["SIM108"]
+
+
 class TestCleanAndSuppressed:
     def test_clean_fixture_has_no_findings(self):
         findings, suppressed = run_fixture("clean.py")

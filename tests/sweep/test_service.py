@@ -108,8 +108,8 @@ class TestDiskCache:
         service = EvaluationService(disk_cache=DiskCache(tmp_path))
         service.evaluate(config, (NEAR_READ,))
         digest = request_digest(config, (NEAR_READ,), DirectoryState.cold())
-        path = tmp_path / digest[:2] / f"{digest}.json"
-        path.write_text("not json")
+        shard = tmp_path / "index" / f"{digest[:2]}.json"
+        shard.write_text("not json")
         fresh = EvaluationService(disk_cache=DiskCache(tmp_path))
         fresh.evaluate(config, (NEAR_READ,))
         assert (fresh.stats.disk_hits, fresh.stats.misses) == (0, 1)
