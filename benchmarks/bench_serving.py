@@ -1,0 +1,169 @@
+"""Benchmark: the serving front door, coalesced vs sequential.
+
+The gather window exists to buy batched evaluation: requests that
+arrive within one window are answered through a single
+``evaluate_grid_columns`` call, which rides the vectorized analytic
+kernel instead of 256 scalar ``evaluate()`` calls. These benches
+measure that trade on an in-process server (no sockets, so the numbers
+isolate dispatch + evaluation, not TCP):
+
+* ``test_coalesced_storm`` — 256 distinct vector-eligible requests
+  submitted concurrently against a wide-open window; the whole storm
+  resolves in a handful of batches.
+* ``test_sequential_requests`` — the same frames awaited one at a time
+  against a zero-width window with ``max_batch_points=1``: every
+  request pays the scalar path, the way a naive per-request server
+  would.
+* ``test_coalesced_speedup_over_sequential`` — the gate: coalesced
+  throughput must be >= 2x sequential. Responses are asserted identical
+  across modes first, so the speedup never comes at the price of
+  drift. Skips on hosts with < 4 CPU cores (same policy as the other
+  wall-clock gates); the identity assert runs everywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import timeit
+
+import pytest
+
+from repro.serve import BandwidthServer, ServeConfig
+from repro.sweep import EvaluationService
+
+#: Gate enforced on capable hosts (see module docstring).
+_SPEEDUP_GATE = 2.0
+
+_THREADS = tuple(range(1, 33))
+_ACCESS_SIZES = (64, 256, 4096, 65536)
+
+
+def _storm_frames():
+    """256 distinct vector-eligible single-stream evaluate requests."""
+    frames = []
+    for op in ("read", "write"):
+        for size in _ACCESS_SIZES:
+            for threads in _THREADS:
+                frames.append({
+                    "kind": "evaluate",
+                    "id": f"{op}-{size}-{threads}",
+                    "streams": [{"op": op, "threads": threads,
+                                 "access_size": size}],
+                })
+    return frames
+
+
+def _coalesced_config() -> ServeConfig:
+    return ServeConfig(
+        gather_window_seconds=0.002,
+        max_batch_points=64,
+        max_queue_depth=4096,
+    )
+
+
+def _sequential_config() -> ServeConfig:
+    return ServeConfig(
+        gather_window_seconds=0.0,
+        max_batch_points=1,
+        max_queue_depth=4096,
+    )
+
+
+def _run_coalesced(frames):
+    """Submit the whole storm at once; windows batch it."""
+
+    async def scenario():
+        server = BandwidthServer(
+            EvaluationService(memoize=False), config=_coalesced_config()
+        )
+        responses = await asyncio.gather(
+            *(server.submit(frame) for frame in frames)
+        )
+        await server.close()
+        return server, responses
+
+    return asyncio.run(scenario())
+
+
+def _run_sequential(frames):
+    """Await each request before submitting the next: no coalescing."""
+
+    async def scenario():
+        server = BandwidthServer(
+            EvaluationService(memoize=False), config=_sequential_config()
+        )
+        responses = [await server.submit(frame) for frame in frames]
+        await server.close()
+        return server, responses
+
+    return asyncio.run(scenario())
+
+
+def _cores() -> int:
+    return os.cpu_count() or 1
+
+
+def test_coalesced_storm(benchmark):
+    """256 concurrent requests through the gather window."""
+    frames = _storm_frames()
+    server, responses = benchmark(lambda: _run_coalesced(frames))
+    assert [r["ok"] for r in responses] == [True] * len(frames)
+    assert server.stats.completed == len(frames)
+    assert server.stats.batches < len(frames)
+    seconds = max(server.stats.latencies)
+    benchmark.extra_info["requests"] = len(frames)
+    benchmark.extra_info["batches"] = server.stats.batches
+    benchmark.extra_info["requests_per_second"] = round(
+        len(frames) / seconds, 1
+    )
+    benchmark.extra_info["p50_seconds"] = round(
+        server.stats.latency_percentile(0.5), 6
+    )
+    benchmark.extra_info["p99_seconds"] = round(
+        server.stats.latency_percentile(0.99), 6
+    )
+
+
+def test_sequential_requests(benchmark):
+    """The same storm, one request at a time on a zero-width window."""
+    frames = _storm_frames()
+    server, responses = benchmark(lambda: _run_sequential(frames))
+    assert [r["ok"] for r in responses] == [True] * len(frames)
+    assert server.stats.batches == len(frames)
+    assert server.stats.coalesced_points == 0
+    benchmark.extra_info["requests"] = len(frames)
+    benchmark.extra_info["p50_seconds"] = round(
+        server.stats.latency_percentile(0.5), 6
+    )
+    benchmark.extra_info["p99_seconds"] = round(
+        server.stats.latency_percentile(0.99), 6
+    )
+
+
+def test_coalesced_speedup_over_sequential():
+    """Coalesced dispatch must beat per-request dispatch by >= 2x."""
+    frames = _storm_frames()
+    _, coalesced = _run_coalesced(frames)
+    _, sequential = _run_sequential(frames)
+    # Bit-identical answers before anything may be faster: the window
+    # changes scheduling, never results (cache keys are unchanged).
+    assert coalesced == sequential
+    cores = _cores()
+    if cores < 4:
+        pytest.skip(
+            f"needs >= 4 CPU cores for a meaningful wall-clock gate "
+            f"(have {cores}); shared small hosts flake on ratios"
+        )
+    coalesced_seconds = min(
+        timeit.repeat(lambda: _run_coalesced(frames), number=1, repeat=3)
+    )
+    sequential_seconds = min(
+        timeit.repeat(lambda: _run_sequential(frames), number=1, repeat=3)
+    )
+    speedup = sequential_seconds / coalesced_seconds
+    assert speedup >= _SPEEDUP_GATE, (
+        f"coalesced serving speedup {speedup:.2f}x < {_SPEEDUP_GATE}x "
+        f"(sequential {sequential_seconds:.3f}s, "
+        f"coalesced {coalesced_seconds:.3f}s)"
+    )

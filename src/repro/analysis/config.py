@@ -91,6 +91,10 @@ class SimlintConfig:
     #: every analyzed file (the kernel modules here, where a scalar
     #: element-wise loop defeats the point of the batched fast paths).
     vector_paths: tuple[str, ...] = ()
+    #: Path fragments the async-blocking rule (SIM109) is confined to;
+    #: empty means every analyzed file (the serving layer here, where one
+    #: blocking call stalls every coalesced request on the loop).
+    serve_paths: tuple[str, ...] = ()
     #: Exception names allowed outside the ``repro.errors`` taxonomy.
     allowed_raises: tuple[str, ...] = DEFAULT_ALLOWED_RAISES
     #: Baseline file of grandfathered findings, relative to ``root``.
@@ -126,6 +130,12 @@ class SimlintConfig:
             return True
         return any(fragment in relpath for fragment in self.vector_paths)
 
+    def in_serve_scope(self, relpath: str) -> bool:
+        """Whether the async-blocking rule applies to ``relpath``."""
+        if not self.serve_paths:
+            return True
+        return any(fragment in relpath for fragment in self.serve_paths)
+
     def is_excluded(self, relpath: str) -> bool:
         """Whether ``relpath`` is excluded from analysis entirely."""
         return any(fragment in relpath for fragment in self.exclude)
@@ -137,6 +147,7 @@ _LIST_KEYS = {
     "unit_literal_files",
     "determinism_paths",
     "vector_paths",
+    "serve_paths",
     "allowed_raises",
     "disable",
     "purity_roots",

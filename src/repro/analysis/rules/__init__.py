@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (imported for registration)
+    async_io,
     determinism,
     docstrings,
     exceptions,

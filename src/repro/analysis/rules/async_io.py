@@ -1,0 +1,106 @@
+"""Async-hygiene rule for the serving layer.
+
+The bandwidth server (:mod:`repro.serve`) runs everything — admission,
+gather windows, batch dispatch, every connection — on one event loop. A
+single synchronous sleep or blocking I/O call inside a coroutine stalls
+*all* of it: coalesced batch-mates, unrelated connections, the frame
+timeout that is supposed to defend against slow clients.
+
+* **SIM109 async-blocking-call** — a known-blocking call inside an
+  ``async def`` body: ``time.sleep`` (use the loop's sleep, or the
+  injected one so fake-clock tests stay deterministic), synchronous file
+  I/O (``open``, ``io.open``, ``Path.read_text``-style methods),
+  synchronous socket work (``socket.socket``, ``socket.create_connection``),
+  and ``subprocess`` calls. Confined to the configured ``serve-paths``.
+
+Only the coroutine's own statements are inspected: a nested ``def`` is a
+callback that may legitimately block somewhere else, and awaited helpers
+are checked where they are defined.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.finding import Finding, Rule
+from repro.analysis.registry import FileContext, register
+
+ASYNC_BLOCKING = Rule(
+    code="SIM109",
+    name="async-blocking-call",
+    summary="blocking call inside an async def stalls the whole event loop",
+)
+
+#: Dotted call targets that block the calling thread, with the hint the
+#: finding message carries.
+_BLOCKING_CALLS: dict[str, str] = {
+    "time.sleep": "await the injected sleep (or asyncio.sleep) instead",
+    "open": "do file I/O outside the loop or via a worker thread",
+    "io.open": "do file I/O outside the loop or via a worker thread",
+    "socket.socket": "use asyncio.open_connection / start_server",
+    "socket.create_connection": "use asyncio.open_connection",
+    "subprocess.run": "use asyncio.create_subprocess_exec",
+    "subprocess.call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_call": "use asyncio.create_subprocess_exec",
+    "subprocess.check_output": "use asyncio.create_subprocess_exec",
+    "subprocess.Popen": "use asyncio.create_subprocess_exec",
+}
+
+#: Method names that are synchronous file I/O regardless of the object
+#: (``Path.read_text`` and friends).
+_BLOCKING_METHODS = frozenset(
+    {"read_text", "write_text", "read_bytes", "write_bytes"}
+)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` call targets; ``None`` for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _own_statements(func: ast.AsyncFunctionDef) -> Iterator[ast.AST]:
+    """Walk the coroutine body without descending into nested functions."""
+    stack: list[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register(ASYNC_BLOCKING)
+def check_async_blocking(module: ast.Module, ctx: FileContext) -> Iterator[Finding]:
+    if not ctx.config.in_serve_scope(ctx.relpath):
+        return
+    for func in ast.walk(module):
+        if not isinstance(func, ast.AsyncFunctionDef):
+            continue
+        for node in _own_statements(func):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            hint = _BLOCKING_CALLS.get(dotted) if dotted is not None else None
+            if hint is not None:
+                yield ctx.finding(
+                    ASYNC_BLOCKING, node,
+                    f"'{dotted}(...)' blocks the event loop inside async "
+                    f"def '{func.name}'; {hint}",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_METHODS
+            ):
+                yield ctx.finding(
+                    ASYNC_BLOCKING, node,
+                    f"'.{node.func.attr}(...)' does synchronous file I/O "
+                    f"inside async def '{func.name}'; move it off the loop",
+                )

@@ -38,6 +38,7 @@ SMOKE_BENCHES = (
     "bench_sweep_service.py",
     "bench_procpool_sweep.py",
     "bench_columnar_results.py",
+    "bench_serving.py",
 )
 
 #: Fields every per-bench entry must carry, with their types.

@@ -29,11 +29,18 @@ Commands
 ``bench``
     Run the ``benchmarks/`` suite (or a subset) and emit a canonical
     ``BENCH_<timestamp>.json`` snapshot for the performance trajectory.
+``serve``
+    Run the bandwidth server (``repro.serve``): a TCP front door that
+    coalesces concurrent evaluation requests into columnar batches.
+``request``
+    Send one JSON request frame to a running server and print the
+    response.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -167,6 +174,34 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("-o", "--output", metavar="PATH", default=None,
                        help="output file or directory (default: "
                             "./BENCH_<timestamp>.json)")
+
+    serve = sub.add_parser(
+        "serve", help="run the coalescing bandwidth server over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0: pick an ephemeral port "
+                            "and print it)")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="gather window in milliseconds (default 2.0)")
+    serve.add_argument("--max-batch", type=_positive_int, default=64,
+                       metavar="N",
+                       help="most points coalesced into one batch")
+    serve.add_argument("--max-queue", type=_positive_int, default=256,
+                       metavar="N",
+                       help="admission-control queue bound; beyond it, "
+                            "requests are shed with a retry-after hint")
+    serve.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="persist evaluation results under PATH")
+
+    request = sub.add_parser(
+        "request", help="send one request frame to a running server"
+    )
+    request.add_argument("--host", default="127.0.0.1")
+    request.add_argument("--port", type=int, required=True)
+    request.add_argument("frame", nargs="?", default=None,
+                         help="request frame as a JSON object (default: "
+                              "read one line from stdin)")
     return parser
 
 
@@ -394,6 +429,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import BandwidthServer, ServeConfig
+    from repro.sweep import DiskCache, EvaluationService
+    from repro.units import MS
+
+    disk = DiskCache(args.cache_dir) if args.cache_dir is not None else None
+    service = EvaluationService(disk_cache=disk)
+    config = ServeConfig(
+        gather_window_seconds=args.window_ms * MS,
+        max_batch_points=args.max_batch,
+        max_queue_depth=args.max_queue,
+    )
+
+    async def run() -> int:
+        server = BandwidthServer(service, config=config)
+        host, port = await server.serve_tcp(args.host, args.port)
+        print(f"serving repro.serve/1 on {host}:{port} "
+              f"(window {args.window_ms}ms, batch<={args.max_batch}, "
+              f"queue<={args.max_queue})", flush=True)
+        try:
+            while True:
+                await asyncio.sleep(3600)
+        except asyncio.CancelledError:
+            return 0
+        finally:
+            await server.close()
+            print(server.stats.describe())
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve.client import request_once
+
+    text = args.frame if args.frame is not None else sys.stdin.readline()
+    try:
+        frame = json.loads(text)
+    except ValueError as exc:
+        print(f"request: frame is not JSON: {exc}", file=sys.stderr)
+        return 2
+    response = asyncio.run(request_once(args.host, args.port, frame))
+    try:
+        print(json.dumps(response, indent=2, sort_keys=True))
+    except BrokenPipeError:
+        # The consumer (``| head``, ``| jq``) closed stdout early; point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0 if response.get("ok") else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -435,6 +528,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return lint_main(args.lint_args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "request":
+        return _cmd_request(args)
     raise AssertionError("unreachable")
 
 

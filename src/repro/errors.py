@@ -108,6 +108,46 @@ def _rebuild_grid_point_error(
     return GridPointError(index, original, label=label, grid=grid, partial=partial)
 
 
+class ServeError(ReproError):
+    """A serving-layer request failed before, or instead of, evaluating.
+
+    The asyncio front door (:mod:`repro.serve`) answers every failure
+    with a typed error payload rather than a stack trace; ``code`` is the
+    machine-readable reason that payload carries:
+
+    ``bad_request``
+        The request body could not be decoded into an evaluation.
+    ``protocol``
+        The connection violated framing (oversize frame, slow-loris
+        timeout); the server drops the connection after answering.
+    ``shed``
+        Admission control rejected the request because the bounded queue
+        was full. ``retry_after_seconds`` tells the client when the
+        coalescer will plausibly have drained a window's worth of work.
+    ``deadline``
+        The request's deadline passed while it sat in the gather queue;
+        it was dropped without being evaluated.
+    ``evaluation``
+        The evaluation itself raised; the message carries the
+        :class:`GridPointError` attribution (grid and point label).
+    ``shutdown``
+        The server is closing and will not answer queued work.
+    """
+
+    def __init__(
+        self,
+        code: str,
+        message: str,
+        *,
+        retry_after_seconds: "float | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: Machine-readable failure class (see class docstring).
+        self.code = code
+        #: Seconds after which a ``shed`` request is worth retrying.
+        self.retry_after_seconds = retry_after_seconds
+
+
 class SchemaError(ReproError):
     """A structured payload violated its schema (bad column, wrong dtype).
 

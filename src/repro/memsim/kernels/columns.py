@@ -203,6 +203,18 @@ class ResultColumns:
             for row in range(len(offsets) - 1)
         ]
 
+    def point_counters(self, row: int) -> dict[str, float | int]:
+        """The scalar counter fields of point ``row`` as a plain dict.
+
+        Keys are :data:`COUNTER_COLUMNS` in field order; values are the
+        exact stored column entries (bytes, seconds, counts, occupancy
+        ratios — the same values ``view(row).counters`` would carry).
+        Consumers that only need the numbers — the serving layer's wire
+        encoding, report tables — read them here without materializing a
+        per-point result object.
+        """
+        return {name: getattr(self, name)[row] for name in COUNTER_COLUMNS}
+
     # ------------------------------------------------------------------
     # lazy per-point views
     # ------------------------------------------------------------------

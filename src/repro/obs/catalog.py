@@ -112,6 +112,17 @@ CATALOG: tuple[CounterSpec, ...] = (
     CounterSpec("sweep.cache.disk_hits_count", "count", "cache hits served from disk"),
     CounterSpec("sweep.points_count", "count", "sweep points evaluated"),
     CounterSpec("sweep.point.wall_seconds", "seconds", "wall time per sweep point"),
+    # -- serving layer (repro.serve) -------------------------------------
+    CounterSpec("serve.requests_count", "count", "request frames dispatched"),
+    CounterSpec("serve.shed_count", "count", "requests rejected by admission control"),
+    CounterSpec("serve.deadline.expired_count", "count", "requests expired while queued"),
+    CounterSpec("serve.errors_count", "count", "requests whose evaluation failed"),
+    CounterSpec("serve.dedup.joined_count", "count", "duplicate requests collapsed in a window"),
+    CounterSpec("serve.coalesce.batches_count", "count", "coalesced batches dispatched"),
+    CounterSpec("serve.coalesce.batch_size_count", "count", "points per coalesced batch"),
+    CounterSpec("serve.queue.depth_count", "count", "gather-queue depth at admission"),
+    CounterSpec("serve.latency.wall_seconds", "seconds", "request wall time, admission to answer"),
+    CounterSpec("serve.protocol.drops_count", "count", "connections dropped for protocol violations"),
     # -- SSB cost model / executor (repro.ssb) ---------------------------
     CounterSpec("ssb.scan.read_bytes", "bytes", "sequential scan volume priced"),
     CounterSpec("ssb.probe.requests_count", "count", "random index probes priced"),

@@ -20,6 +20,7 @@ from repro.sweep.service import (
     EvaluationService,
     GridPointError,
     default_service,
+    request_key,
     set_default_service,
 )
 
@@ -32,5 +33,6 @@ __all__ = [
     "MemoCache",
     "SweepRunner",
     "default_service",
+    "request_key",
     "set_default_service",
 ]

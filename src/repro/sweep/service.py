@@ -39,6 +39,30 @@ from repro.sweep.cache import (
 if TYPE_CHECKING:
     from repro.memsim.kernels import ResultColumns
 
+#: The content key one evaluation is memoized under: the machine, the
+#: streams, and the *observable* projection of the directory state.
+RequestKey = tuple[MachineConfig, tuple[StreamSpec, ...], DirectoryState]
+
+
+def request_key(
+    config: MachineConfig,
+    streams: "list[StreamSpec] | tuple[StreamSpec, ...]",
+    directory: DirectoryState | None = None,
+) -> RequestKey:
+    """The content key ``evaluate`` results are cached under.
+
+    Normalizes exactly the way :meth:`EvaluationService.evaluate` does:
+    the directory is restricted to the far-read pairs the streams can
+    observe, so callers comparing keys (the serving layer dedupes
+    in-flight requests with this) agree with the cache about which
+    requests are the same computation. The full input state still
+    determines the returned ``directory_after`` — two requests may share
+    a key yet receive differently-rebased results.
+    """
+    streams = tuple(streams)
+    state = directory if directory is not None else DirectoryState.cold()
+    return (config, streams, state.restrict(observable_pairs(streams)))
+
 
 class EvaluationService:
     """Content-keyed memo (and optional disk) cache around ``evaluate``.
@@ -98,8 +122,8 @@ class EvaluationService:
         rec = recorder if recorder is not None else default_recorder()
         streams = tuple(streams)
         state = directory if directory is not None else DirectoryState.cold()
-        normalized = state.restrict(observable_pairs(streams))
-        key = (config, streams, normalized)
+        key = request_key(config, streams, state)
+        normalized = key[2]
 
         cached = self._memo.get(key) if self._memo is not None else None
         if cached is not None:

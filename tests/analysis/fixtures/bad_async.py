@@ -1,0 +1,33 @@
+"""Fixture: blocking calls inside async def bodies (SIM109)."""
+
+import io
+import socket
+import subprocess
+import time
+from pathlib import Path
+
+
+async def stalls_the_loop():
+    time.sleep(0.25)  # SIM109: sync sleep in a coroutine
+    with open("data.json") as handle:  # SIM109: sync file I/O
+        handle.read()
+    io.open("data.json")  # SIM109: sync file I/O, dotted
+    socket.create_connection(("localhost", 80))  # SIM109: sync socket
+    subprocess.run(["true"])  # SIM109: sync subprocess
+    Path("x").read_text()  # SIM109: sync Path I/O
+
+
+async def clean_coroutine(sleeper):
+    await sleeper(0.25)
+
+    def callback():
+        # Not flagged: nested sync functions may block elsewhere.
+        time.sleep(0.25)
+
+    return callback
+
+
+def plain_function():
+    # Not flagged: blocking is fine outside coroutines.
+    time.sleep(0.25)
+    return open("data.json")

@@ -307,6 +307,51 @@ class TestPointMaterializationRule:
         assert [f.rule for f in findings] == ["SIM108"]
 
 
+class TestAsyncBlockingRule:
+    def test_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_async.py")
+        bad = [f for f in findings if f.rule == "SIM109"]
+        # time.sleep, open, io.open, socket.create_connection,
+        # subprocess.run, Path.read_text
+        assert {f.line for f in bad} == {11, 12, 14, 15, 16, 17}
+
+    def test_messages_name_the_coroutine_and_the_fix(self):
+        findings, _ = run_fixture("bad_async.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM109")
+        assert "'stalls_the_loop'" in messages
+        assert "injected sleep" in messages
+        assert "asyncio.open_connection" in messages
+        assert "asyncio.create_subprocess_exec" in messages
+
+    def test_sync_code_and_nested_defs_not_flagged(self):
+        findings, _ = run_fixture("bad_async.py")
+        # The nested callback (line 25) and plain_function (lines 31-32)
+        # may block; only the coroutine's own statements count.
+        assert all(f.line <= 17 for f in findings if f.rule == "SIM109")
+
+    def test_only_sim109_fires_on_the_fixture(self):
+        findings, _ = run_fixture("bad_async.py")
+        assert codes(findings) == {"SIM109"}
+
+    def test_out_of_scope_paths_not_flagged(self, tmp_path):
+        scoped = SimlintConfig(root=tmp_path, serve_paths=("repro/serve",))
+        source = (
+            "import time\n"
+            "async def handler():\n"
+            "    time.sleep(0.25)\n"
+        )
+        outside = tmp_path / "repro" / "experiments"
+        outside.mkdir(parents=True)
+        (outside / "driver.py").write_text(source)
+        findings, _ = analyze_file(outside / "driver.py", scoped)
+        assert findings == []
+        inside = tmp_path / "repro" / "serve"
+        inside.mkdir(parents=True)
+        (inside / "server.py").write_text(source)
+        findings, _ = analyze_file(inside / "server.py", scoped)
+        assert [f.rule for f in findings] == ["SIM109"]
+
+
 class TestCleanAndSuppressed:
     def test_clean_fixture_has_no_findings(self):
         findings, suppressed = run_fixture("clean.py")

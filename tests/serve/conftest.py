@@ -1,0 +1,92 @@
+"""Async test harness for the serving layer: stdlib only, no real sleeps.
+
+Two pieces replace a pytest-asyncio dependency:
+
+* :func:`run_async` — run one test coroutine on a fresh event loop with
+  a real-time safety timeout (a deadlocked test fails instead of
+  hanging the suite);
+* :class:`FakeClock` — a manual clock whose ``time``/``sleep`` pair is
+  injected into :class:`~repro.serve.server.BandwidthServer`. Sleepers
+  park on futures ordered by deadline; :meth:`FakeClock.advance` fires
+  everything due and lets the loop settle, so gather windows, frame
+  timeouts, and deadlines elapse deterministically in zero wall time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+
+import pytest
+
+DEFAULT_TIMEOUT_SECONDS = 30.0
+
+
+def run_async(coro, timeout: float = DEFAULT_TIMEOUT_SECONDS):
+    """Run ``coro`` to completion on a fresh loop (real-time ``timeout``
+    seconds as a hang guard)."""
+    return asyncio.run(asyncio.wait_for(coro, timeout))
+
+
+class FakeClock:
+    """A manually-advanced clock with an async ``sleep``.
+
+    ``time()`` returns the current fake time in seconds. ``sleep(s)``
+    parks the caller on a future that :meth:`advance` resolves once the
+    fake time passes its deadline; a cancelled sleeper (the server races
+    reads against frame timeouts) is simply dropped.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sleepers: list[tuple[float, int, asyncio.Future]] = []
+        self._seq = 0
+
+    def time(self) -> float:
+        """Current fake time in seconds."""
+        return self._now
+
+    async def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            await asyncio.sleep(0)
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._seq += 1
+        heapq.heappush(self._sleepers, (self._now + seconds, self._seq, future))
+        await future
+
+    async def drain(self, rounds: int = 25) -> None:
+        """Let every ready callback run (``rounds`` loop iterations)."""
+        for _ in range(rounds):
+            await asyncio.sleep(0)
+
+    async def advance(self, seconds: float) -> None:
+        """Move fake time forward, waking due sleepers in deadline order.
+
+        The loop settles (:meth:`drain`) after each wake so work
+        scheduled by one sleeper — say, a batch dispatch that answers
+        futures — completes before the next sleeper fires.
+        """
+        target = self._now + seconds
+        while True:
+            # Settle first: tasks created just before ``advance`` get a
+            # chance to park their sleeps before time moves.
+            await self.drain()
+            if not self._sleepers or self._sleepers[0][0] > target:
+                break
+            deadline, _, future = heapq.heappop(self._sleepers)
+            self._now = max(self._now, deadline)
+            if not future.done():
+                future.set_result(None)
+        self._now = target
+        await self.drain()
+
+    @property
+    def sleeping(self) -> int:
+        """Live (uncancelled) sleepers currently parked."""
+        return sum(1 for _, _, f in self._sleepers if not f.done())
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,130 @@
+"""Backpressure: the queue bound, retry-after hints, and deadlines.
+
+Everything runs on the fake clock with ``WINDOW = 1.0``, so the
+schedule is fully deterministic and the ``serve.*`` counters can be
+asserted to exact values, not ranges.
+"""
+
+import asyncio
+
+from tests.serve.conftest import run_async
+from tests.serve.test_server import WINDOW, evaluate_frame, make_server
+
+
+class TestQueueBound:
+    def test_burst_beyond_queue_depth_sheds_the_excess(self, fake_clock):
+        async def scenario():
+            server, recorder = make_server(fake_clock, max_queue_depth=4)
+            tasks = [
+                asyncio.ensure_future(server.submit(evaluate_frame(i, 1 + i)))
+                for i in range(10)
+            ]
+            await fake_clock.drain()
+            # Shed responses resolve immediately, before any window
+            # elapses — the caller learns to back off without waiting.
+            shed_now = [task for task in tasks if task.done()]
+            assert len(shed_now) == 6
+            await fake_clock.advance(WINDOW)
+            responses = [await task for task in tasks]
+            await server.close()
+            return server, recorder, responses
+
+        server, recorder, responses = run_async(scenario())
+        admitted = [r for r in responses if r["ok"]]
+        shed = [r for r in responses if not r["ok"]]
+        # First four in, the rest turned away; submission order decides.
+        assert [r["id"] for r in admitted] == [0, 1, 2, 3]
+        assert len(shed) == 6
+        for response in shed:
+            assert response["error"]["code"] == "shed"
+            # Default retry hint: two gather windows.
+            assert response["error"]["retry_after_seconds"] == 2 * WINDOW
+
+        assert server.stats.admitted == 4
+        assert server.stats.completed == 4
+        assert server.stats.shed == 6
+        assert server.stats.batches == 1
+        assert server.stats.max_queue_depth == 4
+
+        assert recorder.counters["serve.requests_count"] == 10
+        assert recorder.counters["serve.shed_count"] == 6
+        assert recorder.counters["serve.coalesce.batches_count"] == 1
+        depth = recorder.histograms["serve.queue.depth_count"]
+        # One sample per admission: depths 1, 2, 3, 4.
+        assert (depth.count, depth.minimum, depth.maximum) == (4, 1.0, 4.0)
+        assert depth.total == 10.0
+        sizes = recorder.histograms["serve.coalesce.batch_size_count"]
+        assert (sizes.count, sizes.maximum) == (1, 4.0)
+        latency = recorder.histograms["serve.latency.wall_seconds"]
+        # All four admitted at t=0, answered by the t=1 batch.
+        assert (latency.count, latency.minimum, latency.maximum) == (4, WINDOW, WINDOW)
+
+    def test_queue_drains_and_readmits_after_a_window(self, fake_clock):
+        async def scenario():
+            server, _ = make_server(fake_clock, max_queue_depth=2)
+            first = [
+                asyncio.ensure_future(server.submit(evaluate_frame(i, 2 + i)))
+                for i in range(3)
+            ]
+            await fake_clock.drain()
+            await fake_clock.advance(WINDOW)
+            first_responses = [await task for task in first]
+            # The batch drained the queue: the same pressure now fits.
+            retry = asyncio.ensure_future(server.submit(evaluate_frame(9, 6)))
+            await fake_clock.drain()
+            await fake_clock.advance(WINDOW)
+            retry_response = await retry
+            await server.close()
+            return server, first_responses, retry_response
+
+        server, first_responses, retry_response = run_async(scenario())
+        assert [r["ok"] for r in first_responses] == [True, True, False]
+        assert retry_response["ok"]
+        assert server.stats.shed == 1
+        assert server.stats.admitted == 3
+
+    def test_oversized_sweep_is_shed_whole(self, fake_clock):
+        async def scenario():
+            server, _ = make_server(fake_clock, max_queue_depth=4)
+            response = await server.submit({
+                "kind": "sweep", "id": "big",
+                "points": [[{"op": "read", "threads": t}] for t in range(1, 9)],
+            })
+            await server.close()
+            return server, response
+
+        server, response = run_async(scenario())
+        assert not response["ok"]
+        assert response["error"]["code"] == "shed"
+        assert response["error"]["retry_after_seconds"] == 2 * WINDOW
+        assert server.stats.shed == 8  # counted in points, like admission
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_answered_not_evaluated(self, fake_clock):
+        async def scenario():
+            server, recorder = make_server(fake_clock)
+            hurried = asyncio.ensure_future(server.submit(
+                evaluate_frame("hurried", 2, deadline_seconds=0.5)
+            ))
+            patient = asyncio.ensure_future(server.submit(
+                evaluate_frame("patient", 4, deadline_seconds=2.0)
+            ))
+            await fake_clock.drain()
+            await fake_clock.advance(WINDOW)
+            responses = (await hurried, await patient)
+            await server.close()
+            return server, recorder, responses
+
+        server, recorder, (hurried, patient) = run_async(scenario())
+        # The 0.5 s deadline passed while waiting out the 1 s window.
+        assert not hurried["ok"]
+        assert hurried["error"]["code"] == "deadline"
+        assert patient["ok"]
+        assert server.stats.deadline_expired == 1
+        assert server.stats.completed == 1
+        assert recorder.counters["serve.deadline.expired_count"] == 1
+        # The expired request never reached the evaluator.
+        assert recorder.counters["sweep.cache.misses_count"] == 1
+        sizes = recorder.histograms["serve.coalesce.batch_size_count"]
+        assert (sizes.count, sizes.maximum) == (1, 1.0)
