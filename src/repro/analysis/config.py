@@ -95,6 +95,11 @@ class SimlintConfig:
     #: empty means every analyzed file (the serving layer here, where one
     #: blocking call stalls every coalesced request on the loop).
     serve_paths: tuple[str, ...] = ()
+    #: Path fragments the unbounded-read rule (SIM110) is confined to;
+    #: empty means every analyzed file (the wire-protocol modules here,
+    #: where a reader without a frame-size bound lets one peer grow an
+    #: unbounded buffer).
+    transport_paths: tuple[str, ...] = ()
     #: Exception names allowed outside the ``repro.errors`` taxonomy.
     allowed_raises: tuple[str, ...] = DEFAULT_ALLOWED_RAISES
     #: Baseline file of grandfathered findings, relative to ``root``.
@@ -136,6 +141,12 @@ class SimlintConfig:
             return True
         return any(fragment in relpath for fragment in self.serve_paths)
 
+    def in_transport_scope(self, relpath: str) -> bool:
+        """Whether the unbounded-read rule applies to ``relpath``."""
+        if not self.transport_paths:
+            return True
+        return any(fragment in relpath for fragment in self.transport_paths)
+
     def is_excluded(self, relpath: str) -> bool:
         """Whether ``relpath`` is excluded from analysis entirely."""
         return any(fragment in relpath for fragment in self.exclude)
@@ -148,6 +159,7 @@ _LIST_KEYS = {
     "determinism_paths",
     "vector_paths",
     "serve_paths",
+    "transport_paths",
     "allowed_raises",
     "disable",
     "purity_roots",

@@ -11,6 +11,7 @@ from repro.analysis.rules import (  # noqa: F401  (imported for registration)
     hoisting,
     obs,
     purity,
+    transport,
     units,
     vectorization,
 )

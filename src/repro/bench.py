@@ -37,6 +37,7 @@ SCHEMA = "repro.bench/1"
 SMOKE_BENCHES = (
     "bench_sweep_service.py",
     "bench_procpool_sweep.py",
+    "bench_cluster_sweep.py",
     "bench_columnar_results.py",
     "bench_serving.py",
 )

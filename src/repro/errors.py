@@ -46,6 +46,26 @@ class SweepError(SimulationError):
     """
 
 
+class BackendError(SweepError, ConfigurationError):
+    """An unknown sweep backend name was requested.
+
+    Inherits both :class:`SweepError` (it is a sweep-layer failure) and
+    :class:`ConfigurationError` (it is a construction-time parameter
+    problem), so callers catching either taxonomy branch see it. The
+    message always names the valid backend set.
+    """
+
+    def __init__(self, backend: object, valid: "tuple[str, ...]") -> None:
+        super().__init__(
+            f"unknown sweep backend {backend!r}; expected one of "
+            + ", ".join(repr(b) for b in valid)
+        )
+        #: The rejected backend value, verbatim.
+        self.backend = backend
+        #: The recognised backend names, in documentation order.
+        self.valid = tuple(valid)
+
+
 class GridPointError(SweepError):
     """One point of a batched grid evaluation failed.
 

@@ -36,9 +36,22 @@ class ServeClient:
         self._next_id = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServeClient":
-        """Open a connection to a listening server."""
-        reader, writer = await asyncio.open_connection(host, port)
+    async def connect(
+        cls, host: str, port: int, *, max_frame_bytes: int | None = None
+    ) -> "ServeClient":
+        """Open a connection to a listening server.
+
+        ``max_frame_bytes`` bounds response frames (the stream's
+        ``limit``); it defaults to the server's own default so a
+        legitimate full batch response always fits.
+        """
+        if max_frame_bytes is None:
+            from repro.serve.server import ServeConfig
+
+            max_frame_bytes = ServeConfig.max_frame_bytes
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=max_frame_bytes
+        )
         return cls(reader, writer)
 
     async def request(self, payload: Mapping[str, object]) -> dict:

@@ -7,8 +7,9 @@ Layering (see DESIGN.md §4):
 * :class:`EvaluationService` wraps it in a content-keyed memo cache and
   an optional on-disk cache (:class:`~repro.sweep.cache.DiskCache`);
 * :class:`SweepRunner` fans whole grids out over a thread or process
-  pool (:mod:`repro.sweep.procpool`) with bit-identical,
-  order-independent results keyed by point label.
+  pool (:mod:`repro.sweep.procpool`) — or a worker cluster with a
+  shared cache tier and work-stealing (:mod:`repro.sweep.cluster`) —
+  with bit-identical, order-independent results keyed by point label.
 
 Everything above this package — experiments, the SSB cost model, the
 core advisor/optimizer — evaluates bandwidth through here.

@@ -8,7 +8,7 @@ order, and every point is evaluated against the same immutable inputs —
 so any ``jobs``/``backend`` combination is bit-identical to serial
 regardless of completion order.
 
-Four backends:
+Five backends:
 
 * ``"serial"`` — evaluate inline, ignoring ``jobs``; the reference
   behaviour the others are tested against.
@@ -25,8 +25,17 @@ Four backends:
   (:mod:`repro.memsim.kernels`). With ``jobs > 1`` it composes with the
   process pool: chunks fan out across workers and each worker runs the
   batched kernel on its chunk. Bit-identical to serial either way.
+* ``"cluster"`` — a :mod:`repro.sweep.cluster` coordinator/worker
+  cluster: grid points are sharded by content hash across worker
+  processes (spawned locally, or remote ``repro worker`` peers), with a
+  content-addressed shared cache tier above each worker's local tiers,
+  work-stealing for stragglers, and heartbeat-timeout requeueing for
+  dead workers. Still bit-identical to serial — rows are assembled by
+  global grid index.
 
-A point that raises — serial or parallel — is re-raised as
+An unknown ``backend`` name raises
+:class:`~repro.errors.BackendError` naming the valid set. A point that
+raises — serial or parallel — is re-raised as
 :class:`~repro.errors.SweepError` naming the grid and the point label,
 with the original exception chained; ``pool.map`` alone would surface
 only the worker's traceback, leaving the poisoned point anonymous.
@@ -38,7 +47,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING
 
-from repro.errors import ConfigurationError, SweepError
+from repro.errors import BackendError, ConfigurationError, SweepError
 from repro.memsim.config import DirectoryState, MachineConfig, paper_config
 from repro.memsim.evaluation import BandwidthResult
 from repro.obs import Recorder, default_recorder
@@ -49,7 +58,7 @@ if TYPE_CHECKING:
     from repro.memsim.kernels import ResultColumns
 
 #: Recognised ``SweepRunner`` backends, in documentation order.
-BACKENDS = ("serial", "thread", "process", "vector")
+BACKENDS = ("serial", "thread", "process", "vector", "cluster")
 
 
 class SweepRunner:
@@ -63,9 +72,10 @@ class SweepRunner:
     jobs:
         Workers for the fan-out; ``1`` (default) evaluates inline.
     backend:
-        ``"serial"``, ``"thread"`` (default), or ``"process"`` — see the
-        module docstring for the trade-offs. All three produce
-        bit-identical results.
+        One of :data:`BACKENDS` (``"thread"`` is the default) — see the
+        module docstring for the trade-offs. Every backend produces
+        bit-identical results; anything else raises
+        :class:`~repro.errors.BackendError`.
     recorder:
         Observability sink for per-point counters and wall time;
         defaults to the process-wide :func:`repro.obs.default_recorder`.
@@ -82,10 +92,7 @@ class SweepRunner:
         if jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         if backend not in BACKENDS:
-            raise ConfigurationError(
-                f"unknown sweep backend {backend!r}; expected one of "
-                + ", ".join(repr(b) for b in BACKENDS)
-            )
+            raise BackendError(backend, BACKENDS)
         self._service = service
         self._recorder = recorder
         self.jobs = jobs
@@ -114,6 +121,21 @@ class SweepRunner:
         points = list(grid)
         rec = self._recorder if self._recorder is not None else default_recorder()
         observing = rec.enabled
+
+        if self.backend == "cluster":
+            # Imported lazily, like the process pool: only cluster runs
+            # pay for the asyncio/multiprocessing machinery.
+            from repro.sweep import cluster
+
+            return cluster.run_grid(
+                grid,
+                points,
+                config=cfg,
+                directory=state,
+                jobs=self.jobs,
+                service=self.service,
+                recorder=rec,
+            )
 
         if self.backend == "vector":
             # Columnar end-to-end; the object dict is materialized (as
@@ -206,6 +228,19 @@ class SweepRunner:
         state = directory if directory is not None else DirectoryState.cold()
         points = list(grid)
         rec = self._recorder if self._recorder is not None else default_recorder()
+
+        if self.backend == "cluster":
+            from repro.sweep import cluster
+
+            return cluster.run_grid_columns(
+                grid,
+                points,
+                config=cfg,
+                directory=state,
+                jobs=self.jobs,
+                service=self.service,
+                recorder=rec,
+            )
 
         if self.backend == "vector":
             if self.jobs > 1 and len(points) > 1:

@@ -10,7 +10,7 @@ from pathlib import Path
 async def stalls_the_loop():
     time.sleep(0.25)  # SIM109: sync sleep in a coroutine
     with open("data.json") as handle:  # SIM109: sync file I/O
-        handle.read()
+        handle.read(1024)
     io.open("data.json")  # SIM109: sync file I/O, dotted
     socket.create_connection(("localhost", 80))  # SIM109: sync socket
     subprocess.run(["true"])  # SIM109: sync subprocess

@@ -1,0 +1,42 @@
+"""Fixture: transport reads without a frame-size bound (SIM110)."""
+
+import asyncio
+
+
+async def unlimited_streams():
+    reader, writer = await asyncio.open_connection("localhost", 80)  # SIM110: no limit=
+    server = await asyncio.start_server(lambda r, w: None, "localhost", 0)  # SIM110: no limit=
+    raw = asyncio.StreamReader()  # SIM110: no limit=
+    return reader, writer, server, raw
+
+
+async def reads_to_eof(reader):
+    return await reader.read()  # SIM110: zero-arg read
+
+
+def accumulates_unbounded(sock):
+    buf = b""
+    while True:
+        buf += sock.recv(4096)  # SIM110: no len(buf) bound
+        if buf.endswith(b"\n"):
+            return buf
+
+
+async def bounded_streams(max_frame):
+    reader, writer = await asyncio.open_connection(
+        "localhost", 80, limit=max_frame
+    )
+    server = await asyncio.start_server(
+        lambda r, w: None, "localhost", 0, limit=max_frame
+    )
+    chunk = await reader.read(4096)
+    return reader, writer, server, chunk
+
+
+def accumulates_bounded(sock, max_frame):
+    buf = b""
+    while len(buf) < max_frame:
+        buf += sock.recv(4096)
+        if buf.endswith(b"\n"):
+            break
+    return buf

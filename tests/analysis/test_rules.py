@@ -352,6 +352,53 @@ class TestAsyncBlockingRule:
         assert [f.rule for f in findings] == ["SIM109"]
 
 
+class TestTransportRule:
+    def test_fires_on_every_shape(self):
+        findings, _ = run_fixture("bad_transport.py")
+        bad = [f for f in findings if f.rule == "SIM110"]
+        # open_connection, start_server, StreamReader (no limit=),
+        # zero-arg .read(), unbounded recv accumulation loop
+        assert {f.line for f in bad} == {7, 8, 9, 14, 20}
+
+    def test_bounded_shapes_not_flagged(self):
+        findings, _ = run_fixture("bad_transport.py")
+        # bounded_streams / accumulates_bounded (lines 25+) pass a
+        # limit=, a read size, or check len(buf) — all clean.
+        assert all(f.line < 25 for f in findings)
+
+    def test_messages_name_the_bound_to_add(self):
+        findings, _ = run_fixture("bad_transport.py")
+        messages = " ".join(f.message for f in findings if f.rule == "SIM110")
+        assert "limit=" in messages
+        assert "max frame size" in messages
+        assert "len(buf)" in messages
+
+    def test_only_sim110_fires_on_the_fixture(self):
+        findings, _ = run_fixture("bad_transport.py")
+        assert codes(findings) == {"SIM110"}
+
+    def test_out_of_scope_paths_not_flagged(self, tmp_path):
+        scoped = SimlintConfig(
+            root=tmp_path,
+            transport_paths=("repro/serve", "repro/sweep/cluster"),
+        )
+        source = (
+            "import asyncio\n"
+            "async def dial(host, port):\n"
+            "    return await asyncio.open_connection(host, port)\n"
+        )
+        outside = tmp_path / "repro" / "experiments"
+        outside.mkdir(parents=True)
+        (outside / "driver.py").write_text(source)
+        findings, _ = analyze_file(outside / "driver.py", scoped)
+        assert findings == []
+        inside = tmp_path / "repro" / "sweep" / "cluster"
+        inside.mkdir(parents=True)
+        (inside / "protocol.py").write_text(source)
+        findings, _ = analyze_file(inside / "protocol.py", scoped)
+        assert [f.rule for f in findings] == ["SIM110"]
+
+
 class TestCleanAndSuppressed:
     def test_clean_fixture_has_no_findings(self):
         findings, suppressed = run_fixture("clean.py")

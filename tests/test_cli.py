@@ -103,6 +103,32 @@ class TestParser:
             main(["fly"])
 
 
+class TestClusterCli:
+    def test_unknown_backend_rejected_naming_choices(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig4", "--backend", "greenlet"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "greenlet" in err
+        assert "cluster" in err  # the valid set is spelled out
+
+    def test_cluster_flags_parse_and_run(self, capsys):
+        assert main(
+            ["run", "fig4", "--backend", "cluster", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out
+
+    def test_bad_connect_endpoint_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            main(
+                ["run", "fig4", "--backend", "cluster",
+                 "--connect", "no-port-here"]
+            )
+
+
 class TestHybrid:
     def test_hybrid_plan(self, capsys):
         assert main(["hybrid", "--sf", "0.02", "--dram-budget-gib", "8"]) == 0
