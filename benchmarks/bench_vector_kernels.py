@@ -17,6 +17,11 @@ Two speedup gates back the vector backend:
   anchor set runs ~8-17x faster than the op-at-a-time ``heapq`` engine;
   3x is the regression floor, far under the measured headroom.
 
+A third, unconditional check demos the widened eligibility: on a grid
+mixing every point family, the fallback fraction — observable via the
+``sweep.vector.fallback_count`` counter — is zero, and poisoning the
+grid with an unpriceable point moves it to exactly that point.
+
 Speedup gates skip on hosts with < 4 CPU cores (shared/noisy small
 hosts flake on wall-clock ratios); the identity and tolerance asserts
 run everywhere, so correctness is never skipped.
@@ -29,11 +34,27 @@ import timeit
 
 import pytest
 
-from repro.memsim import DirectoryState, Op, eval_context, evaluate, paper_config
+from repro.errors import TopologyError
+from repro.memsim import (
+    DaxMode,
+    DirectoryState,
+    Op,
+    PinningPolicy,
+    StreamSpec,
+    eval_context,
+    evaluate,
+    paper_config,
+)
 from repro.memsim.crosscheck import DEFAULT_ANCHORS
 from repro.memsim.engine import EngineConfig, simulate
-from repro.memsim.kernels import evaluate_grid, evaluate_grid_columns, run_epochs
+from repro.memsim.kernels import (
+    classify_point,
+    evaluate_grid,
+    evaluate_grid_columns,
+    run_epochs,
+)
 from repro.memsim.spec import Pattern
+from repro.obs import CountersRecorder
 from repro.units import MIB
 from repro.workloads.sequential import sequential_sweep
 
@@ -157,6 +178,52 @@ def test_epoch_speedup_over_scalar_engine():
         f"epoch engine speedup {speedup:.2f}x < {_EPOCH_GATE}x "
         f"(scalar {scalar_seconds:.3f}s, epoch {epoch_seconds:.3f}s)"
     )
+
+
+def _mixed_eligibility_points():
+    """One grid spanning every family the kernel prices."""
+    points = []
+    for threads in (1, 4, 8, 18, 36):
+        base = StreamSpec(op=Op.READ, threads=threads)
+        points.append((base,))
+        points.append((base.with_(pattern=Pattern.RANDOM, access_size=256),))
+        points.append((base.with_(issuing_socket=0, target_socket=1),))
+        points.append((base.with_(pinning=PinningPolicy.NONE),))
+        points.append((base.with_(dax_mode=DaxMode.FSDAX),))
+        points.append((base, StreamSpec(op=Op.WRITE, threads=threads)))
+    return points
+
+
+def test_mixed_eligibility_fallback_fraction():
+    """Fallback shrinks to exactly the genuinely unpriceable points.
+
+    The first-generation kernel would have sent 5/6 of this grid —
+    random, remote, unpinned, fsdax, and multi-stream points — down the
+    scalar fallback. Now the fallback fraction, observable through the
+    ``sweep.vector.fallback_count`` counter family, is zero on the
+    family-diverse grid and moves to exactly the poisoned point when one
+    is added.
+    """
+    context = eval_context(paper_config())
+    points = _mixed_eligibility_points()
+    assert sum(1 for p in points if classify_point(context, p) is None) == len(points)
+
+    recorder = CountersRecorder()
+    results = evaluate_grid(context, points, recorder=recorder)
+    assert len(results) == len(points)
+    counters = recorder.snapshot()["counters"]
+    assert "sweep.vector.fallback_count" not in counters
+
+    # Poison the grid: one point no topology can price. The fallback
+    # counter fires (with its reason) before the scalar path raises.
+    poisoned = points + [(StreamSpec(op=Op.READ, threads=4, target_socket=9),)]
+    assert sum(1 for p in poisoned if classify_point(context, p) is not None) == 1
+    recorder = CountersRecorder()
+    with pytest.raises(TopologyError):
+        evaluate_grid(context, poisoned, recorder=recorder)
+    counters = recorder.snapshot()["counters"]
+    assert counters["sweep.vector.fallback_count"] == 1
+    assert counters["sweep.vector.fallback.socket_count"] == 1
 
 
 def test_vector_backend_grid_cost(benchmark, fig3_grid):

@@ -68,6 +68,7 @@ _BATCH_PRODUCERS: dict[str, int | None] = {
     "assemble": None,
     "evaluate_grid_columns": None,
     "evaluate_batch_columns": 0,
+    "evaluate_points_columns": 0,
     "run_columns": -1,
     "run_grid_columns": -1,
     "_vector_columns": -1,

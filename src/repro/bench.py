@@ -32,14 +32,15 @@ from repro.errors import BenchError
 SCHEMA = "repro.bench/1"
 
 #: The ``--smoke`` subset: fast benches covering the sweep service, the
-#: process-pool/EvalContext layer, and the columnar result path this
-#: harness exists to track.
+#: process-pool/EvalContext layer, the columnar result path, and the
+#: per-family vector kernel grids this harness exists to track.
 SMOKE_BENCHES = (
     "bench_sweep_service.py",
     "bench_procpool_sweep.py",
     "bench_cluster_sweep.py",
     "bench_columnar_results.py",
     "bench_serving.py",
+    "bench_vector_families.py",
 )
 
 #: Fields every per-bench entry must carry, with their types.

@@ -33,22 +33,28 @@ from repro.memsim.kernels.columns import COUNTER_COLUMNS, ResultColumns
 __all__ = [
     "COUNTER_COLUMNS",
     "EpochEngine",
+    "FALLBACK_REASONS",
     "ResultColumns",
+    "classify_point",
     "evaluate_batch",
     "evaluate_batch_columns",
     "evaluate_batch_deferred",
     "evaluate_grid",
     "evaluate_grid_columns",
+    "evaluate_points_columns",
     "run_epochs",
     "vector_eligible",
 ]
 
 _ANALYTIC = frozenset({
+    "FALLBACK_REASONS",
+    "classify_point",
     "evaluate_batch",
     "evaluate_batch_columns",
     "evaluate_batch_deferred",
     "evaluate_grid",
     "evaluate_grid_columns",
+    "evaluate_points_columns",
     "vector_eligible",
 })
 _EPOCH = frozenset({"EpochEngine", "run_epochs"})

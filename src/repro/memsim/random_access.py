@@ -81,6 +81,33 @@ def tables_for(cal: DeviceCalibration) -> RandomAccessTables:
     )
 
 
+def pmem_random_read_ramp(access_size: int) -> float:
+    """Access-size ramp of the random PMEM read ceiling (pure ``**``).
+
+    Factored out so the batched kernels can memoize it per unique access
+    size with the exact scalar operations — ``np.power`` is not
+    bit-identical to CPython's ``**``.
+    """
+    effective = max(access_size, OPTANE_LINE)
+    return min(1.0, (effective / 4096.0) ** 0.10)
+
+
+def pmem_random_write_ramp(access_size: int) -> float:
+    """Access-size ramp of the random PMEM write ceiling (pure ``**``)."""
+    effective = max(access_size, OPTANE_LINE)
+    return min(1.0, (effective / 4096.0) ** 0.15)
+
+
+def dram_random_read_ramp(access_size: int) -> float:
+    """Access-size ramp of the random DRAM read ceiling (pure ``**``)."""
+    return min(1.0, (access_size / 4096.0) ** 0.22)
+
+
+def dram_random_write_ramp(access_size: int) -> float:
+    """Access-size ramp of the random DRAM write ceiling (pure ``**``)."""
+    return min(1.0, (access_size / 2048.0) ** 0.15)
+
+
 def pmem_random_read_media_cap(
     cal: DeviceCalibration,
     access_size: int,
@@ -93,8 +120,7 @@ def pmem_random_read_media_cap(
     sub-line accesses pay the 256 B read amplification on top.
     """
     t = tables if tables is not None else tables_for(cal)
-    effective = max(access_size, OPTANE_LINE)
-    ramp = min(1.0, (effective / 4096.0) ** 0.10)
+    ramp = pmem_random_read_ramp(access_size)
     cap = t.pmem_read_peak_gbps * ramp
     if access_size < OPTANE_LINE:
         cap *= access_size / OPTANE_LINE
@@ -155,8 +181,7 @@ def pmem_random_write_media_cap(
     if not 0 < wc_efficiency <= 1:
         raise WorkloadError("write-combining efficiency must be in (0, 1]")
     t = tables if tables is not None else tables_for(cal)
-    effective = max(access_size, OPTANE_LINE)
-    ramp = min(1.0, (effective / 4096.0) ** 0.15)
+    ramp = pmem_random_write_ramp(access_size)
     cap = t.pmem_write_peak_gbps * ramp * wc_efficiency
     if access_size < OPTANE_LINE:
         cap *= access_size / OPTANE_LINE
@@ -207,7 +232,7 @@ def dram_random_read(
     _check(threads, access_size)
     t = tables if tables is not None else tables_for(cal)
     channels = dram_channel_fraction(cal, region_bytes)
-    size_ramp = min(1.0, (access_size / 4096.0) ** 0.22)
+    size_ramp = dram_random_read_ramp(access_size)
     # The small-region peak already encodes the channel loss.
     peak = (
         t.dram_read_small_peak_gbps
@@ -237,7 +262,7 @@ def dram_random_write(
     _check(threads, access_size)
     t = tables if tables is not None else tables_for(cal)
     channels = dram_channel_fraction(cal, region_bytes)
-    size_ramp = min(1.0, (access_size / 2048.0) ** 0.15)
+    size_ramp = dram_random_write_ramp(access_size)
     peak = (
         t.dram_write_small_peak_gbps
         if channels < 1.0

@@ -33,6 +33,14 @@ class PinningPolicy(enum.Enum):
     CORES = "cores"
 
 
+#: Issue contribution of a hyperthread sibling. A second thread on a core
+#: shares its load/store machinery and adds only a quarter of an extra
+#: issue stream (§3.2). Shared with the batched kernels
+#: (:mod:`repro.memsim.kernels.analytic`), which vectorize
+#: :attr:`ThreadPlacement.effective_issue_threads` with this constant.
+HT_YIELD: float = 0.25
+
+
 @dataclass(frozen=True)
 class ThreadPlacement:
     """Resolved placement of a thread group on one socket."""
@@ -54,8 +62,7 @@ class ThreadPlacement:
         extra issue stream for bandwidth-bound sequential work (§3.2:
         "adding hyperthreads does not improve the bandwidth").
         """
-        ht_yield = 0.25
-        return min(self.threads, self.physical_cores) + self.hyperthreaded * ht_yield
+        return min(self.threads, self.physical_cores) + self.hyperthreaded * HT_YIELD
 
 
 @dataclass(frozen=True)

@@ -112,6 +112,10 @@ CATALOG: tuple[CounterSpec, ...] = (
     CounterSpec("sweep.cache.disk_hits_count", "count", "cache hits served from disk"),
     CounterSpec("sweep.points_count", "count", "sweep points evaluated"),
     CounterSpec("sweep.point.wall_seconds", "seconds", "wall time per sweep point"),
+    CounterSpec("sweep.vector.fallback_count", "count", "grid points that fell back to the scalar evaluator"),
+    CounterSpec("sweep.vector.fallback.empty_count", "count", "fallbacks because the point had no streams"),
+    CounterSpec("sweep.vector.fallback.socket_count", "count", "fallbacks because a stream named an unknown or core-less socket"),
+    CounterSpec("sweep.vector.fallback.media_count", "count", "fallbacks because the target socket lacks the stream's media"),
     # -- cluster sweep backend (repro.sweep.cluster) ---------------------
     CounterSpec("cluster.workers_count", "count", "workers that joined the sweep"),
     CounterSpec("cluster.chunks.shipped_count", "count", "point chunks shipped to workers"),

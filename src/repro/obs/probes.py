@@ -135,6 +135,20 @@ def emit_evaluation(
             recorder.incr(f"{prefix}.dropped_bytes", per_dropped)
 
 
+def emit_vector_fallback(recorder: Recorder, reason: str) -> None:
+    """Emit one grid point's fall-back from the batched kernel.
+
+    ``reason`` is a :data:`repro.memsim.kernels.FALLBACK_REASONS` label
+    (the :func:`~repro.memsim.kernels.classify_point` verdict). The
+    aggregate counter tracks the residual scalar fraction of a sweep;
+    the per-reason family says why each point was unpriceable.
+    """
+    if not recorder.enabled:
+        return
+    recorder.incr("sweep.vector.fallback_count")
+    recorder.incr(f"sweep.vector.fallback.{reason}_count")
+
+
 def emit_engine(
     recorder: Recorder,
     per_dimm: list[tuple[int, int, int, int, int, int, int]],

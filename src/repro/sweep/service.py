@@ -216,17 +216,21 @@ class EvaluationService:
         """Cached, batched grid evaluation producing a column batch.
 
         Points that the vectorized analytic kernel covers
-        (:func:`repro.memsim.kernels.vector_eligible`) and that miss both
-        caches are computed in one structure-of-arrays pass
-        (:func:`repro.memsim.kernels.evaluate_batch_columns`); every
-        other point goes through :meth:`evaluate` unchanged. Rows come
-        back in ``points`` order and are **bit-identical** to the
-        per-point path — cache keys, stored entries, and hit/miss
-        tallies included, so a grid primed through this method services
-        per-point calls (and vice versa) without recomputation. No
-        per-point result object is materialized anywhere on this path:
-        cache hits and batch computes alike move between the caches and
-        the output as column rows.
+        (:func:`repro.memsim.kernels.classify_point` returning ``None`` —
+        every point family the scalar evaluator can price) and that miss
+        both caches are computed in one structure-of-arrays pass
+        (:func:`repro.memsim.kernels.evaluate_points_columns`); the
+        residual fallback set (empty points, unknown or core-less
+        sockets, missing media) goes through :meth:`evaluate` unchanged,
+        with each fallback tallied on the
+        ``sweep.vector.fallback_count`` counter family labeled by
+        reason. Rows come back in ``points`` order and are
+        **bit-identical** to the per-point path — cache keys, stored
+        entries, and hit/miss tallies included, so a grid primed through
+        this method services per-point calls (and vice versa) without
+        recomputation. No per-point result object is materialized
+        anywhere on this path: cache hits and batch computes alike move
+        between the caches and the output as column rows.
 
         A failing point raises :class:`GridPointError` carrying the input
         index (plus the point ``label`` and ``grid_name`` when given, so
@@ -241,8 +245,8 @@ class EvaluationService:
         from repro.memsim.context import eval_context
         from repro.memsim.kernels import (
             ResultColumns,
-            evaluate_batch_columns,
-            vector_eligible,
+            classify_point,
+            evaluate_points_columns,
         )
 
         rec = recorder if recorder is not None else default_recorder()
@@ -261,21 +265,36 @@ class EvaluationService:
             # A config the core rejects fails every point; blame the first.
             raise fail(0, exc, ResultColumns()) from exc
 
-        # Eligible points can only observe the empty far-read pair set, so
-        # they all share one normalized directory (hence one key suffix).
+        # Each point is keyed under the directory restricted to *its*
+        # observable far-read pairs, exactly as :meth:`evaluate` keys it;
+        # points sharing a pair set share the restricted state object.
         # Cache hits are held as (columns, row) references — or plain
         # results when the per-point path stored them — until the output
         # assembly loop copies their rows out.
-        empty = state.restrict(frozenset())
+        restricted: dict[frozenset, DirectoryState] = {}
+
+        def normalized_for(streams: tuple[StreamSpec, ...]) -> DirectoryState:
+            pairs = observable_pairs(streams)
+            norm = restricted.get(pairs)
+            if norm is None:
+                norm = state.restrict(pairs)
+                restricted[pairs] = norm
+            return norm
+
         stored: dict[int, CacheValue] = {}
+        fallback: dict[int, str] = {}
         batch_indices: list[int] = []
-        batch_specs: list[StreamSpec] = []
+        batch_points: list[tuple[StreamSpec, ...]] = []
         batch_keys: list[tuple[MachineConfig, tuple[StreamSpec, ...], DirectoryState]] = []
         batch_digests: list[str | None] = []
+        batch_normals: list[DirectoryState] = []
         for i, streams in enumerate(normalized_points):
-            if not vector_eligible(ctx, streams):
+            reason = classify_point(ctx, streams)
+            if reason is not None:
+                fallback[i] = reason
                 continue
-            key = (config, streams, empty)
+            normalized = normalized_for(streams)
+            key = (config, streams, normalized)
             cached = self._memo.get(key) if self._memo is not None else None
             if cached is not None:
                 self.stats.hits += 1
@@ -286,7 +305,7 @@ class EvaluationService:
                 continue
             digest: str | None = None
             if self._disk is not None:
-                digest = request_digest(config, streams, empty)
+                digest = request_digest(config, streams, normalized)
                 from_disk = self._disk.get_ref(digest)
                 if from_disk is not None:
                     self.stats.hits += 1
@@ -300,15 +319,21 @@ class EvaluationService:
                     stored[i] = from_disk
                     continue
             batch_indices.append(i)
-            batch_specs.append(streams[0])
+            batch_points.append(streams)
             batch_keys.append(key)
             batch_digests.append(digest)
+            batch_normals.append(normalized)
 
         computed: "ResultColumns | None" = None
         emit = None
-        if batch_specs:
+        if batch_points:
             try:
-                computed, emit = evaluate_batch_columns(ctx, batch_specs, empty)
+                # Computed against the caller's *full* state: a point can
+                # only observe the warmth of its own far-read pairs, which
+                # the restricted key state preserves by construction, so
+                # the rows (and their ``directory_after``) are exactly
+                # what per-point evaluation against ``state`` produces.
+                computed, emit = evaluate_points_columns(ctx, batch_points, state)
             except Exception:
                 # The batch kernel failed wholesale. The loop below
                 # re-runs the misses through the scalar path, which
@@ -317,20 +342,37 @@ class EvaluationService:
                 # tallied yet, so the scalar calls' own hit/miss
                 # accounting stays exact.
                 computed = None
+        stored_afters: list[DirectoryState] = []
         if computed is not None:
-            self.stats.misses += len(batch_specs)
+            self.stats.misses += len(batch_points)
             if rec.enabled:
-                rec.incr("sweep.cache.misses_count", len(batch_specs))
-            if self._memo is not None:
-                for pos, key in enumerate(batch_keys):
-                    self._memo.put(key, (computed, pos))
-            if self._disk is not None:
-                # One block write for the whole batch — the entries the
-                # per-point path would have written, fused.
-                self._disk.put_columns(
-                    [digest for digest in batch_digests if digest is not None],
-                    computed,
-                )
+                rec.incr("sweep.cache.misses_count", len(batch_points))
+            # Stored entries must be byte-identical to what the per-point
+            # path stores: results computed against the point's
+            # *normalized* state, so their ``directory_after`` is the
+            # normalized state plus the point's own far traversals.
+            for pos, streams in enumerate(batch_points):
+                after = batch_normals[pos]
+                for spec in streams:
+                    if spec.far:
+                        after = after.touch(spec.issuing_socket, spec.target_socket)
+                stored_afters.append(after)
+            if self._memo is not None or self._disk is not None:
+                stored_batch = ResultColumns()
+                for pos in range(len(batch_points)):
+                    stored_batch.append_from(
+                        computed, pos, directory_after=stored_afters[pos]
+                    )
+                if self._memo is not None:
+                    for pos, key in enumerate(batch_keys):
+                        self._memo.put(key, (stored_batch, pos))
+                if self._disk is not None:
+                    # One block write for the whole batch — the entries the
+                    # per-point path would have written, fused.
+                    self._disk.put_columns(
+                        [digest for digest in batch_digests if digest is not None],
+                        stored_batch,
+                    )
 
         # Batched points are emitted — and fallback points evaluated — in
         # ``points`` order: float addition is order-sensitive at the last
@@ -338,27 +380,40 @@ class EvaluationService:
         # per-point path would. The output batch is assembled fresh (rows
         # copied out of cached batches), so annotating a view of the
         # returned columns can never corrupt a stored entry.
+        emitting = rec.enabled
+        if emitting:
+            from repro.obs import probes
         out = ResultColumns()
         pos = 0
         for i, streams in enumerate(normalized_points):
             hit = stored.get(i)
             if hit is not None:
-                # Eligible points are never far, so the rebased
-                # ``directory_after`` is exactly the caller's state.
+                # Rebase the stored (normalized-state) row onto the
+                # caller's state, exactly as :meth:`_deliver` does.
+                after = state
+                for spec in streams:
+                    if spec.far:
+                        after = after.touch(spec.issuing_socket, spec.target_socket)
                 if type(hit) is tuple:
                     columns, row = hit
-                    out.append_from(columns, row, directory_after=state)
+                    out.append_from(columns, row, directory_after=after)
                 else:
-                    out.append_result(hit, directory_after=state)
+                    out.append_result(hit, directory_after=after)
                 continue
-            if pos < len(batch_indices) and batch_indices[pos] == i:
+            reason = fallback.get(i)
+            if reason is None:
                 if computed is not None:
-                    if rec.enabled and emit is not None:
-                        emit(rec, pos)
-                    out.append_from(computed, pos, directory_after=state)
+                    if emitting and emit is not None:
+                        # Probes replay against the normalized states the
+                        # per-point path evaluates under, not the full
+                        # input state the batch ran against.
+                        emit(rec, pos, before=batch_normals[pos], after=stored_afters[pos])
+                    out.append_from(computed, pos)
                     pos += 1
                     continue
                 pos += 1  # batch failed: fall through to the scalar path
+            elif emitting:
+                probes.emit_vector_fallback(rec, reason)
             try:
                 out.append_result(
                     self.evaluate(config, streams, state, recorder=rec)

@@ -1,0 +1,286 @@
+"""Per-family bit-identity suites for the widened batched kernel.
+
+The first-generation kernel priced only plain pinned near-socket
+sequential points; everything else fell back to the scalar evaluator.
+This suite pins the widened contract family by family: random-pattern,
+cross-socket (remote), unpinned, fsdax, and multi-stream points — plus
+arbitrary combinations — are all priced on the vector fast path and
+remain bit-identical to per-point ``evaluate``, including recorder
+emission. The residual fallback set (``classify_point``) is pinned to
+genuinely unpriceable points only, and every fallback is observable via
+the ``sweep.vector.fallback_count`` counter family.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.errors import TopologyError, WorkloadError
+from repro.memsim import (
+    DaxMode,
+    DirectoryState,
+    Layout,
+    MediaKind,
+    Op,
+    Pattern,
+    PinningPolicy,
+    StreamSpec,
+    eval_context,
+    evaluate,
+    paper_config,
+)
+from repro.memsim.config import MachineConfig
+from repro.memsim.kernels import (
+    FALLBACK_REASONS,
+    classify_point,
+    evaluate_grid,
+    evaluate_points_columns,
+    vector_eligible,
+)
+from repro.memsim.topology import paper_server
+from repro.obs import CountersRecorder
+from tests.memsim.test_kernels import THREADS, assert_identical, sample_grid
+
+SIZES = (64, 128, 256, 512, 1024, 4096, 16384)
+REGIONS = (1 << 28, 1 << 30, 16 << 30, 70_000_000_000)
+
+
+def _base(rng: random.Random) -> StreamSpec:
+    return StreamSpec(
+        op=rng.choice((Op.READ, Op.WRITE)),
+        threads=rng.choice(THREADS),
+        access_size=rng.choice(SIZES),
+        media=rng.choice((MediaKind.PMEM, MediaKind.PMEM, MediaKind.DRAM)),
+        layout=rng.choice((Layout.INDIVIDUAL, Layout.GROUPED)),
+        region_bytes=rng.choice(REGIONS),
+    )
+
+
+def random_point(rng: random.Random) -> tuple[StreamSpec, ...]:
+    """Random-pattern streams, optionally also far or unpinned."""
+    spec = _base(rng).with_(pattern=Pattern.RANDOM)
+    if rng.random() < 0.3:
+        spec = spec.with_(issuing_socket=rng.choice((0, 1)))
+        spec = spec.with_(target_socket=1 - spec.issuing_socket)
+    if rng.random() < 0.3:
+        spec = spec.with_(pinning=PinningPolicy.NONE)
+    return (spec,)
+
+
+def remote_point(rng: random.Random) -> tuple[StreamSpec, ...]:
+    """Cross-socket streams in both directions, both media, both ops."""
+    issuing = rng.choice((0, 1))
+    return (_base(rng).with_(issuing_socket=issuing, target_socket=1 - issuing),)
+
+
+def unpinned_point(rng: random.Random) -> tuple[StreamSpec, ...]:
+    """``PinningPolicy.NONE`` streams, optionally far."""
+    spec = _base(rng).with_(pinning=PinningPolicy.NONE)
+    if rng.random() < 0.3:
+        spec = spec.with_(issuing_socket=0, target_socket=1)
+    return (spec,)
+
+
+def fsdax_point(rng: random.Random) -> tuple[StreamSpec, ...]:
+    """fsdax PMEM streams across region sizes, prefaulted or cold."""
+    spec = _base(rng).with_(
+        media=MediaKind.PMEM,
+        dax_mode=DaxMode.FSDAX,
+        prefaulted=rng.random() < 0.3,
+    )
+    if rng.random() < 0.25:
+        spec = spec.with_(pattern=Pattern.RANDOM)
+    return (spec,)
+
+
+def multi_point(rng: random.Random) -> tuple[StreamSpec, ...]:
+    """Two- and three-stream points whose members span all families."""
+    streams = []
+    for _ in range(rng.choice((2, 2, 3))):
+        spec = _base(rng)
+        roll = rng.random()
+        if roll < 0.2:
+            spec = spec.with_(pattern=Pattern.RANDOM)
+        elif roll < 0.4:
+            issuing = rng.choice((0, 1))
+            spec = spec.with_(issuing_socket=issuing, target_socket=1 - issuing)
+        elif roll < 0.55:
+            spec = spec.with_(pinning=PinningPolicy.NONE)
+        elif roll < 0.7 and spec.media is MediaKind.PMEM:
+            spec = spec.with_(dax_mode=DaxMode.FSDAX)
+        streams.append(spec)
+    return tuple(streams)
+
+
+FAMILIES = {
+    "random": random_point,
+    "remote": remote_point,
+    "unpinned": unpinned_point,
+    "fsdax": fsdax_point,
+    "multi": multi_point,
+}
+
+
+def family_grid(family: str, seed: int, n: int) -> list[tuple[StreamSpec, ...]]:
+    rng = random.Random(seed)
+    sampler = FAMILIES[family]
+    return [sampler(rng) for _ in range(n)]
+
+
+class TestFamilyBitIdentity:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_cold_directory(self, family):
+        config = paper_config()
+        context = eval_context(config)
+        points = family_grid(family, seed=0xC0FFEE, n=48)
+        assert all(vector_eligible(context, p) for p in points)
+        state = DirectoryState.cold()
+        batched = evaluate_grid(context, points, state)
+        assert len(batched) == len(points)
+        for streams, got in zip(points, batched):
+            assert_identical(got, evaluate(config, streams, state, context=context))
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_warm_directory(self, family):
+        # Far reads consult directory warmth; every family must price
+        # identically against a fully warm directory too.
+        config = paper_config()
+        context = eval_context(config)
+        warm = DirectoryState.warm(config.topology)
+        points = family_grid(family, seed=1879, n=32)
+        batched = evaluate_grid(context, points, warm)
+        for streams, got in zip(points, batched):
+            assert_identical(got, evaluate(config, streams, warm, context=context))
+
+    def test_ablation_configs(self):
+        # The kernel reads calibration and toggles off the shared
+        # context; the what-if ablations must not break bit-identity.
+        for toggles in (
+            {"prefetcher_enabled": False},
+            {"write_combining_enabled": False},
+        ):
+            config = MachineConfig(**toggles)
+            context = eval_context(config)
+            state = DirectoryState.cold()
+            for family in sorted(FAMILIES):
+                points = family_grid(family, seed=52, n=8)
+                for streams, got in zip(
+                    points, evaluate_grid(context, points, state)
+                ):
+                    assert_identical(
+                        got, evaluate(config, streams, state, context=context)
+                    )
+
+
+class TestFamilyEmissionParity:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_grid_recorder_matches_scalar(self, family):
+        # Deferred emission replays probes from the columns in point
+        # order; counter folds are order-sensitive at the last ulp, so
+        # snapshots must be byte-identical, family by family.
+        config = paper_config()
+        context = eval_context(config)
+        points = family_grid(family, seed=31337, n=24)
+        state = DirectoryState.cold()
+        grid_rec, scalar_rec = CountersRecorder(), CountersRecorder()
+        evaluate_grid(context, points, state, recorder=grid_rec)
+        for streams in points:
+            evaluate(config, streams, state, recorder=scalar_rec, context=context)
+        assert grid_rec.snapshot() == scalar_rec.snapshot()
+
+    def test_deferred_emit_is_callable_out_of_band(self):
+        # The columns API hands emission to the caller: emitting later
+        # (the sweep service defers until after cache bookkeeping) must
+        # produce the same snapshot as inline per-point emission.
+        config = paper_config()
+        context = eval_context(config)
+        points = family_grid("multi", seed=9, n=12)
+        state = DirectoryState.cold()
+        columns, emit = evaluate_points_columns(context, points, state)
+        deferred, inline = CountersRecorder(), CountersRecorder()
+        for i in range(len(points)):
+            emit(deferred, i)
+        for streams in points:
+            evaluate(config, streams, state, recorder=inline, context=context)
+        assert deferred.snapshot() == inline.snapshot()
+
+
+class TestClassifyPoint:
+    def test_vector_eligible_is_classify_is_none(self):
+        # The boolean predicate must never drift from the classifier.
+        context = eval_context(paper_config())
+        corpus = sample_grid(seed=404, n=64)
+        for family in sorted(FAMILIES):
+            corpus += family_grid(family, seed=405, n=8)
+        corpus.append(())
+        corpus.append((StreamSpec(op=Op.READ, threads=4, target_socket=9),))
+        for point in corpus:
+            reason = classify_point(context, point)
+            assert vector_eligible(context, point) is (reason is None)
+            assert reason is None or reason in FALLBACK_REASONS
+
+    def test_empty_point_is_empty(self):
+        context = eval_context(paper_config())
+        assert classify_point(context, ()) == "empty"
+
+    def test_unknown_socket_is_socket(self):
+        context = eval_context(paper_config())
+        spec = StreamSpec(op=Op.READ, threads=4)
+        assert classify_point(context, (spec.with_(target_socket=9),)) == "socket"
+        assert classify_point(context, (spec.with_(issuing_socket=9),)) == "socket"
+
+    def test_pmem_on_pmemless_socket_is_media(self):
+        # A topology with no PMEM behind socket 1: PMEM streams that
+        # target it are unpriceable (no interleave map), DRAM streams
+        # stay on the fast path.
+        topo = paper_server()
+        stripped = dataclasses.replace(
+            topo,
+            dimms=tuple(
+                d
+                for d in topo.dimms
+                if not (d.socket_id == 1 and d.kind is MediaKind.PMEM)
+            ),
+        )
+        stripped.validate()
+        context = eval_context(MachineConfig(topology=stripped))
+        pmem = StreamSpec(op=Op.READ, threads=4, media=MediaKind.PMEM)
+        dram = pmem.with_(media=MediaKind.DRAM)
+        assert classify_point(context, (pmem.with_(target_socket=1),)) == "media"
+        assert (
+            classify_point(
+                context, (pmem.with_(target_socket=1, pattern=Pattern.RANDOM),)
+            )
+            == "media"
+        )
+        assert classify_point(context, (pmem,)) is None
+        assert classify_point(context, (dram.with_(target_socket=1),)) is None
+
+
+class TestFallbackObservability:
+    def assert_fallback_counted(self, point, reason, raises):
+        context = eval_context(paper_config())
+        eligible = (StreamSpec(op=Op.READ, threads=4),)
+        recorder = CountersRecorder()
+        with pytest.raises(raises):
+            evaluate_grid(context, [eligible, point], recorder=recorder)
+        counters = recorder.snapshot()["counters"]
+        assert counters["sweep.vector.fallback_count"] == 1
+        assert counters[f"sweep.vector.fallback.{reason}_count"] == 1
+
+    def test_empty_point_counts_before_raising(self):
+        self.assert_fallback_counted((), "empty", WorkloadError)
+
+    def test_unknown_socket_counts_before_raising(self):
+        bad = (StreamSpec(op=Op.READ, threads=4, target_socket=9),)
+        self.assert_fallback_counted(bad, "socket", TopologyError)
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_families_never_fall_back(self, family):
+        context = eval_context(paper_config())
+        points = family_grid(family, seed=77, n=16)
+        recorder = CountersRecorder()
+        evaluate_grid(context, points, recorder=recorder)
+        counters = recorder.snapshot()["counters"]
+        assert "sweep.vector.fallback_count" not in counters

@@ -6,7 +6,9 @@ arrays, but every observable of every result — bandwidth floats, stream
 notes, performance counters, the directory state — must equal the scalar
 evaluator's bit for bit, so cached entries and golden files are
 interchangeable between backends. These property tests draw seeded
-random grids mixing eligible and fallback points and compare everything.
+random grids spanning every point family the kernel prices — plain
+sequential, random-pattern, cross-socket, unpinned, fsdax, and
+multi-stream — and compare everything.
 """
 
 import dataclasses
@@ -33,7 +35,7 @@ SIZES = (64, 128, 256, 1024, 4096, 16384)
 
 
 def sample_point(rng: random.Random) -> tuple[StreamSpec, ...]:
-    """One random sweep point; ~1 in 4 lands on a fallback path."""
+    """One random sweep point; ~1 in 3 lands off the plain-sequential path."""
     spec = StreamSpec(
         op=rng.choice((Op.READ, Op.WRITE)),
         threads=rng.choice(THREADS),
@@ -96,14 +98,20 @@ class TestGridBitIdentity:
             want = evaluate(config, streams, state, context=context)
             assert_identical(got, want)
 
-    def test_grid_mixes_eligible_and_fallback_points(self):
+    def test_grid_spans_every_family_and_all_are_eligible(self):
         # The property above is only meaningful if the sample actually
-        # exercises both the batched kernel and the scalar fallback.
+        # exercises every point family — and every one of them must now
+        # go through the batched kernel, not the scalar fallback.
         context = eval_context(paper_config())
         points = sample_grid(seed=20260807, n=96)
+        flat = [s for p in points for s in p]
+        assert any(s.pattern is Pattern.RANDOM for s in flat)
+        assert any(s.far for s in flat)
+        assert any(s.pinning is PinningPolicy.NONE for s in flat)
+        assert any(s.dax_mode is DaxMode.FSDAX for s in flat)
+        assert any(len(p) > 1 for p in points)
         eligible = sum(1 for p in points if vector_eligible(context, p))
-        assert 20 <= eligible <= 90
-        assert eligible < len(points)
+        assert eligible == len(points)
 
     def test_warm_directory_matches_scalar(self):
         config = paper_config()
@@ -167,16 +175,16 @@ class TestEligibility:
                 spec = StreamSpec(op=op, threads=8, media=media)
                 assert vector_eligible(context, (spec,))
 
-    def test_fallback_shapes_are_ineligible(self):
+    def test_former_fallback_shapes_are_now_eligible(self):
+        # The families the first-generation kernel punted on — the whole
+        # point of the widened fast path.
         context = eval_context(paper_config())
         base = StreamSpec(op=Op.READ, threads=8)
-        assert not vector_eligible(context, (base, base))
-        assert not vector_eligible(context, (base.with_(pattern=Pattern.RANDOM),))
-        assert not vector_eligible(context, (base.with_(target_socket=1),))
-        assert not vector_eligible(
-            context, (base.with_(pinning=PinningPolicy.NONE),)
-        )
-        assert not vector_eligible(context, (base.with_(dax_mode=DaxMode.FSDAX),))
+        assert vector_eligible(context, (base, base))
+        assert vector_eligible(context, (base.with_(pattern=Pattern.RANDOM),))
+        assert vector_eligible(context, (base.with_(target_socket=1),))
+        assert vector_eligible(context, (base.with_(pinning=PinningPolicy.NONE),))
+        assert vector_eligible(context, (base.with_(dax_mode=DaxMode.FSDAX),))
 
     def test_points_the_scalar_evaluator_rejects_are_ineligible(self):
         # Eligibility must never claim a point the scalar path would

@@ -11,7 +11,15 @@ process pool (``jobs > 1``) changes nothing observable.
 import pytest
 
 from repro.errors import GridPointError, SweepError
-from repro.memsim import DirectoryState, Op, StreamSpec, paper_config
+from repro.memsim import (
+    DaxMode,
+    DirectoryState,
+    Op,
+    Pattern,
+    PinningPolicy,
+    StreamSpec,
+    paper_config,
+)
 from repro.obs import CountersRecorder
 from repro.sweep import EvaluationService, SweepRunner
 from repro.workloads.grids import SweepGrid, SweepPoint
@@ -172,3 +180,83 @@ class TestFailures:
         # Callers already catching SweepError (or ReproError) keep
         # working when batched evaluation surfaces the failure.
         assert issubclass(GridPointError, SweepError)
+
+
+def family_grid(name: str = "families") -> SweepGrid:
+    """One point per formerly-fallback family, all vector-eligible now."""
+    base = StreamSpec(op=Op.READ, threads=8, access_size=4096)
+    points = (
+        SweepPoint(label="seq", params={}, streams=(base,)),
+        SweepPoint(
+            label="random",
+            params={},
+            streams=(base.with_(pattern=Pattern.RANDOM, access_size=256),),
+        ),
+        SweepPoint(
+            label="remote",
+            params={},
+            streams=(base.with_(issuing_socket=0, target_socket=1),),
+        ),
+        SweepPoint(
+            label="unpinned",
+            params={},
+            streams=(base.with_(pinning=PinningPolicy.NONE),),
+        ),
+        SweepPoint(
+            label="fsdax",
+            params={},
+            streams=(base.with_(op=Op.WRITE, dax_mode=DaxMode.FSDAX),),
+        ),
+        SweepPoint(
+            label="mixed",
+            params={},
+            streams=(base, base.with_(op=Op.WRITE, threads=4)),
+        ),
+    )
+    return SweepGrid(name=name, points=points)
+
+
+class TestFamilyCoverage:
+    def test_every_family_matches_serial_with_counters(self):
+        grid = family_grid()
+        serial_rec, vector_rec = CountersRecorder(), CountersRecorder()
+        serial = SweepRunner(
+            EvaluationService(memoize=False), backend="serial", recorder=serial_rec
+        ).run(grid)
+        vector = SweepRunner(
+            EvaluationService(memoize=False), backend="vector", recorder=vector_rec
+        ).run(grid)
+        assert_runs_identical(serial, vector)
+        serial_snap, vector_snap = serial_rec.snapshot(), vector_rec.snapshot()
+        assert serial_snap["counters"] == vector_snap["counters"]
+        # Every family is priced in batch: no scalar fallback remains.
+        assert "sweep.vector.fallback_count" not in vector_snap["counters"]
+
+    def test_family_grid_primes_cache_for_per_point_calls(self):
+        # Far/random/unpinned/fsdax entries computed by the batch must be
+        # byte-interchangeable with per-point computes: a later scalar
+        # call hits the memo the vector sweep populated.
+        service = EvaluationService()
+        grid = family_grid()
+        vector = SweepRunner(service, backend="vector").run(grid)
+        assert service.stats.misses == len(grid)
+        for point in grid:
+            assert service.evaluate(paper_config(), point.streams) == vector[point.label]
+        assert service.stats.hits == len(grid)
+
+
+class TestFallbackCounters:
+    def test_poisoned_point_emits_fallback_reason(self):
+        # The scalar residue is observable: the service counts the
+        # fallback (with its reason) before the scalar evaluator raises.
+        service = EvaluationService(memoize=False)
+        recorder = CountersRecorder()
+        with pytest.raises(GridPointError):
+            service.evaluate_grid(
+                paper_config(),
+                [point.streams for point in poisoned_grid()],
+                recorder=recorder,
+            )
+        counters = recorder.snapshot()["counters"]
+        assert counters["sweep.vector.fallback_count"] == 1
+        assert counters["sweep.vector.fallback.socket_count"] == 1
